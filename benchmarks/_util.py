@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark prints the paper-style rows to stdout *and* appends them
+to ``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture (run with ``-s`` to watch live).
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Operation budget per simulated run; override for longer, smoother runs:
+#   REPRO_OPS=200000 pytest benchmarks/ --benchmark-only
+DEFAULT_OPS = int(os.environ.get("REPRO_OPS", "60000"))
+
+
+def emit(name, text):
+    """Print a rendered table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    print()
+    print(text)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def pct(value):
+    return "%.1f%%" % (100.0 * value)

@@ -1,0 +1,62 @@
+"""Ablation: the Section III-C policy design space.
+
+Compares the two nested=>shadow reversion policies (plus no reversion)
+and sweeps the shadow=>nested write threshold, reporting where TLB
+misses get served and how many VMtraps remain.
+"""
+
+from dataclasses import replace
+
+from repro.common.config import sandy_bridge_config
+from repro.core.machine import System
+from repro.core.simulator import Simulator
+from repro.workloads.suite import MemcachedLike
+from repro.analysis.tables import format_table
+
+from _util import DEFAULT_OPS, emit, pct, run_once
+
+
+def run_with_policy(**policy_overrides):
+    config = sandy_bridge_config(mode="agile")
+    config = replace(config, policy=replace(config.policy, **policy_overrides))
+    system = System(config)
+    return Simulator(system).run(MemcachedLike(ops=DEFAULT_OPS))
+
+
+def test_policy_ablation(benchmark):
+    def measure():
+        rows = []
+        results = {}
+        for label, overrides in (
+            ("dirty-bit reversion", dict(revert_policy="dirty")),
+            ("simple reversion", dict(revert_policy="simple")),
+            ("no reversion", dict(revert_policy="none")),
+            ("threshold=1", dict(write_threshold=1)),
+            ("threshold=8", dict(write_threshold=8)),
+        ):
+            metrics = run_with_policy(**overrides)
+            results[label] = metrics
+            mix = metrics.mode_mix()
+            rows.append((
+                label,
+                pct(mix.get("Shadow", 0.0)),
+                "%.2f" % metrics.avg_refs_per_miss,
+                metrics.vmtraps,
+                pct(metrics.vmm_overhead),
+                pct(metrics.page_walk_overhead),
+            ))
+        return rows, results
+
+    rows, results = run_once(benchmark, measure)
+    text = format_table(
+        ("Policy variant", "Shadow-mode misses", "Avg refs/miss",
+         "VMtraps", "VMM overhead", "PW overhead"),
+        rows,
+        title="Ablation — switching policies (memcached, agile mode)",
+    )
+    emit("ablation_policies", text)
+    # An eager trigger (threshold=1) must not trap more than a lazy one.
+    assert results["threshold=1"].vmtraps <= results["threshold=8"].vmtraps
+    # Without reversion, fewer misses are served in full shadow mode.
+    assert (results["no reversion"].mode_mix().get("Shadow", 0.0)
+            <= results["dirty-bit reversion"].mode_mix().get("Shadow", 0.0) + 1e-9)

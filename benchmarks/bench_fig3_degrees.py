@@ -1,0 +1,43 @@
+"""Figure 3: chronological page-table accesses per degree of nesting.
+
+Reproduces the access orders of Figure 3(a)-(f): a shadow prefix of the
+walk followed by (guest PTE read + host walk) groups once the switching
+bit flips the walk to nested mode.
+"""
+
+from repro.analysis.experiments import figure3_journals
+from repro.analysis.tables import format_table
+
+from _util import emit, run_once
+
+PAPER_LENGTHS = {
+    "shadow-only": 4,
+    "switch@4th": 8,
+    "switch@3rd": 12,
+    "switch@2nd": 16,
+    "switch@1st": 20,
+    "nested-only": 24,
+}
+
+
+def _render(journal):
+    return " ".join("%s.L%d" % (structure[0], level) for structure, level in journal)
+
+
+def test_figure3_access_orders(benchmark):
+    journals = run_once(benchmark, figure3_journals)
+    rows = [
+        (label, len(journal), _render(journal)[:96])
+        for label, journal in journals.items()
+    ]
+    text = format_table(
+        ("Degree", "Refs", "Chronological accesses (s=sPT g=gPT h=hPT)"),
+        rows,
+        title="Figure 3 — access orders by degree of nesting",
+    )
+    emit("figure3", text)
+    for label, expected in PAPER_LENGTHS.items():
+        assert len(journals[label]) == expected, label
+    # Shadow prefix then a guest-PT read, as drawn in Figure 3(b).
+    assert [s for s, _l in journals["switch@4th"][:3]] == ["sPT"] * 3
+    assert journals["switch@4th"][3][0] == "gPT"

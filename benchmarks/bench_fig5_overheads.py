@@ -1,0 +1,43 @@
+"""Figure 5: execution-time overheads for the whole suite.
+
+The paper's headline figure: page-walk overhead (bottom bar) and VMM
+intervention overhead (top dashed bar) for every workload under
+{4K, 2M} x {Base native, Nested, Shadow, Agile}.
+
+Shape targets (paper): agile beats the best of nested and shadow for
+every workload; nested roughly doubles native walk overheads at 4K;
+shadow matches native walks but pays VMtraps on update-heavy loads
+(dedup worst); 2M pages shrink walk overheads across the board.
+"""
+
+from repro.analysis.experiments import figure5, headline_claims
+from repro.analysis.plots import render_figure5
+from repro.analysis.tables import figure5_rows, format_table
+
+from _util import DEFAULT_OPS, emit, run_once
+
+
+def test_figure5_overheads(benchmark):
+    results = run_once(benchmark, lambda: figure5(ops=DEFAULT_OPS))
+    rows = figure5_rows(results)
+    text = format_table(
+        ("Workload", "Config", "Page walk", "VMM", "Total"),
+        rows,
+        title="Figure 5 — execution time overheads (ops=%d)" % DEFAULT_OPS,
+    )
+    text += "\n\n" + render_figure5(results, "4K")
+    text += "\n\n" + render_figure5(results, "2M")
+    emit("figure5", text)
+
+    _rows, summary = headline_claims(results)
+    assert summary["geomean_speedup_vs_best"] > 1.0
+    for name, configs in results.items():
+        def total(size, mode):
+            metrics = configs[(size, mode)]
+            return metrics.page_walk_overhead + metrics.vmm_overhead
+
+        best = min(total("4K", "nested"), total("4K", "shadow"))
+        assert total("4K", "agile") <= best * 1.05, name
+        # 2M large pages reduce agile walk overheads (Section VII point 5).
+        assert (configs[("2M", "agile")].page_walk_overhead
+                <= configs[("4K", "agile")].page_walk_overhead + 0.01), name

@@ -1,0 +1,52 @@
+"""Section VII-A headline claims.
+
+Paper: "agile paging ... improves performance by 12% over the best of
+nested and shadow paging on average, and performs less than 4% slower
+than unvirtualized native at worst". We check the *shape*: agile wins
+against the best constituent on average, and stays within a small
+constant factor of native.
+"""
+
+from repro.analysis.experiments import figure5, headline_claims
+from repro.analysis.tables import format_table
+from repro.common.params import FOUR_KB
+
+from _util import DEFAULT_OPS, emit, run_once
+
+
+def test_headline_claims(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: figure5(ops=DEFAULT_OPS, page_sizes=(FOUR_KB,)),
+    )
+    rows, summary = headline_claims(results)
+    rendered = format_table(
+        ("Workload", "Native", "Nested", "Shadow", "Agile",
+         "Speedup vs best", "Slowdown vs native"),
+        [
+            (
+                r["workload"],
+                "%.3f" % r["native"],
+                "%.3f" % r["nested"],
+                "%.3f" % r["shadow"],
+                "%.3f" % r["agile"],
+                "%.3f" % r["agile_speedup_vs_best"],
+                "%.3f" % r["agile_slowdown_vs_native"],
+            )
+            for r in rows
+        ],
+        title=(
+            "Headline claims (total overhead, 4K) — paper: >=1.12x vs best, "
+            "<=1.04x vs native\n"
+            "geomean speedup vs best: %.3f   geomean slowdown vs native: %.3f "
+            "(max %.3f)"
+            % (
+                summary["geomean_speedup_vs_best"],
+                summary["geomean_slowdown_vs_native"],
+                summary["max_slowdown_vs_native"],
+            )
+        ),
+    )
+    emit("headline", rendered)
+    assert summary["geomean_speedup_vs_best"] > 1.0
+    assert summary["geomean_slowdown_vs_native"] < 1.35

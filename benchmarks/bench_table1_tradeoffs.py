@@ -1,0 +1,28 @@
+"""Table I: the trade-off grid across the four techniques.
+
+Paper row targets: TLB hits fast everywhere; max memory accesses on a
+TLB miss 4 / 24 / 4 / ~(4-5 avg); page-table updates direct everywhere
+except shadow paging (mediated by the VMM).
+"""
+
+from repro.analysis.experiments import table1_measurements
+from repro.analysis.tables import format_table, table1_rows
+
+from _util import emit, run_once
+
+
+def test_table1_tradeoffs(benchmark):
+    measurements = run_once(benchmark, table1_measurements)
+    rows = table1_rows(measurements)
+    text = format_table(
+        ("Technique", "TLB hit", "Max refs on miss", "Page table updates",
+         "Hardware support"),
+        rows,
+        title="Table I — trade-offs (measured worst-case walk references)",
+    )
+    emit("table1", text)
+    assert measurements["native"]["max_refs"] == 4
+    assert measurements["nested"]["max_refs"] == 24
+    assert measurements["shadow"]["max_refs"] == 4
+    assert measurements["shadow"]["pt_update_traps"] >= 1
+    assert measurements["agile"]["pt_update_traps"] == 0

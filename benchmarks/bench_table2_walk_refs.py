@@ -1,0 +1,29 @@
+"""Table II: memory references per walk at every degree of nesting.
+
+Paper targets: 4 (full shadow), 8, 12, 16, 20 (switch at successive
+levels), 24 (full nested) — measured, not asserted by construction.
+"""
+
+from repro.analysis.experiments import table2_measurements
+from repro.analysis.tables import format_table, table2_rows
+
+from _util import emit, run_once
+
+PAPER_TOTALS = {0: 4, 1: 8, 2: 12, 3: 16, 4: 20, "nested": 24}
+
+
+def test_table2_walk_references(benchmark):
+    totals = run_once(benchmark, table2_measurements)
+    rows = table2_rows(totals)
+    text = format_table(
+        ("Level", "Base Native", "Nested Paging", "Shadow Paging", "Agile Paging"),
+        rows,
+        title="Table II — walk memory references by degree of nesting",
+    )
+    measured = format_table(
+        ("Degree (nested levels)", "Paper", "Measured"),
+        [(str(k), PAPER_TOTALS[k], totals[k]) for k in (0, 1, 2, 3, 4, "nested")],
+        title="Measured totals vs paper",
+    )
+    emit("table2", text + "\n\n" + measured)
+    assert totals == PAPER_TOTALS

@@ -1,0 +1,48 @@
+"""Table III: the simulated system configuration.
+
+Prints the TLB hierarchy geometry (which must match the paper's table
+verbatim) and benchmarks raw TLB lookup throughput as a sanity check
+that the hierarchy is cheap enough to simulate at scale.
+"""
+
+from repro.common.config import sandy_bridge_config, sandy_bridge_tlbs
+from repro.common.params import FOUR_KB
+from repro.hw.tlbhierarchy import TLBHierarchy
+from repro.analysis.tables import format_table
+
+from _util import emit
+
+
+def test_table3_geometry_and_lookup_throughput(benchmark):
+    tlbs = sandy_bridge_tlbs()
+    rows = []
+    for structure, geometries in (("L1 DTLB", tlbs.l1d), ("L1 ITLB", tlbs.l1i),
+                                  ("L2 TLB", tlbs.l2)):
+        for size_name, geometry in sorted(geometries.items()):
+            rows.append((structure, size_name,
+                         "%d-entry" % geometry.entries,
+                         "%d-way" % geometry.ways))
+    text = format_table(
+        ("Structure", "Page size", "Entries", "Associativity"),
+        rows,
+        title="Table III — per-core TLB hierarchy (Sandy Bridge)",
+    )
+    emit("table3", text)
+
+    hierarchy = TLBHierarchy(tlbs, FOUR_KB)
+    for vpn in range(512):
+        hierarchy.fill(1, vpn << 12, frame=vpn, writable=True, dirty=True)
+
+    def probe():
+        hits = 0
+        for vpn in range(512):
+            entry, _level = hierarchy.lookup(1, vpn << 12)
+            hits += entry is not None
+        return hits
+
+    hits = benchmark(probe)
+    assert hits > 0
+
+    config = sandy_bridge_config()
+    assert config.tlbs.l1d["4K"].entries == 64
+    assert config.tlbs.l2["4K"].entries == 512

@@ -1,0 +1,55 @@
+"""Table IV: the linear performance model, applied end to end.
+
+Runs one workload under native/nested/shadow, feeds the measured
+counters through the paper's formulas, and checks the derived overheads
+agree with the simulator's own accounting.
+"""
+
+import pytest
+
+from repro.common.config import sandy_bridge_config
+from repro.core import costmodel
+from repro.core.simulator import run_workload
+from repro.workloads.suite import McfLike
+from repro.analysis.tables import format_table
+
+from _util import DEFAULT_OPS, emit, pct, run_once
+
+
+def test_table4_model_consistency(benchmark):
+    def measure():
+        runs = {}
+        for mode in ("native", "nested", "shadow"):
+            metrics = run_workload(McfLike(ops=DEFAULT_OPS),
+                                   sandy_bridge_config(mode=mode))
+            runs[mode] = metrics
+        return runs
+
+    runs = run_once(benchmark, measure)
+    native = costmodel.measured_run_from_metrics(runs["native"])
+    e_ideal = costmodel.ideal_cycles(native)
+    rows = []
+    for mode, metrics in runs.items():
+        run = costmodel.measured_run_from_metrics(metrics)
+        rows.append((
+            mode,
+            pct(costmodel.page_walk_overhead(run, e_ideal)),
+            pct(costmodel.vmm_overhead(run, e_ideal)),
+            "%.1f" % run.avg_cycles_per_miss,
+        ))
+    text = format_table(
+        ("Config", "PW (model)", "VMM (model)", "Cycles/miss (C)"),
+        rows,
+        title="Table IV — performance-model outputs on measured runs (mcf)",
+    )
+    emit("table4", text)
+
+    # The model's PW for the native run must reproduce the simulator's
+    # own accounting: both express the same walk cycles, over different
+    # ideal-time baselines (the model's E_ideal folds in L2-TLB and
+    # fault handling time; the simulator's ideal_cycles does not).
+    model_pw = costmodel.page_walk_overhead(native, e_ideal)
+    direct_pw = runs["native"].page_walk_overhead
+    assert model_pw * e_ideal == pytest.approx(
+        direct_pw * runs["native"].ideal_cycles, rel=0.01
+    )

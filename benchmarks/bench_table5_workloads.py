@@ -1,0 +1,39 @@
+"""Table V: the workload suite — descriptions, footprints, behaviour.
+
+Prints paper footprint vs scaled footprint and each workload's measured
+steady-state character (miss rate, PT-update traps under shadow).
+"""
+
+from repro.common.config import sandy_bridge_config
+from repro.core.simulator import run_workload
+from repro.workloads.suite import PAPER_FOOTPRINTS, SUITE
+from repro.analysis.tables import format_table
+
+from _util import DEFAULT_OPS, emit, run_once
+
+
+def test_table5_workload_suite(benchmark):
+    def measure():
+        rows = []
+        for cls in SUITE:
+            workload = cls(ops=min(DEFAULT_OPS, 30_000))
+            metrics = run_workload(workload, sandy_bridge_config(mode="shadow"))
+            rows.append((
+                workload.name,
+                workload.description,
+                PAPER_FOOTPRINTS[workload.name],
+                "%d MB" % workload.footprint_mb,
+                "%.1f" % metrics.miss_rate_per_kop,
+                metrics.trap_counts.get("pt_write", 0),
+            ))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    text = format_table(
+        ("Workload", "Description", "Paper footprint", "Scaled",
+         "Misses/kop", "PT-write traps (shadow)"),
+        rows,
+        title="Table V — workload suite (scaled reproductions)",
+    )
+    emit("table5", text)
+    assert len(rows) == 8

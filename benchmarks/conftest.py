@@ -1,0 +1,5 @@
+import os
+import sys
+
+# Make the shared _util helpers importable from every benchmark module.
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no `wheel` package, so the
+PEP 517 editable-install path (which needs `bdist_wheel`) fails. This
+shim lets `pip install -e . --no-build-isolation --no-use-pep517` (and
+plain `pip install -e .` on machines with wheel) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

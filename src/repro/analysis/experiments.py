@@ -1,0 +1,263 @@
+"""Experiment runners: one function per table/figure in the paper.
+
+Each returns structured data; the benchmark harnesses print it in the
+paper's row format and EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from dataclasses import replace
+
+from repro.common.config import (
+    ALL_MODES,
+    MODE_AGILE,
+    MODE_NATIVE,
+    MODE_NESTED,
+    MODE_SHADOW,
+    sandy_bridge_config,
+)
+from repro.common.params import FOUR_KB, TWO_MB
+from repro.core.machine import System
+from repro.core.simulator import Simulator
+from repro.workloads.suite import SUITE, make_suite
+
+DEFAULT_OPS = 60_000
+
+
+def run_one(workload, mode, page_size=FOUR_KB, **overrides):
+    """Run one workload under one configuration; returns RunMetrics."""
+    config = sandy_bridge_config(mode=mode, page_size=page_size, **overrides)
+    system = System(config)
+    return Simulator(system).run(workload)
+
+
+# -- Table I ---------------------------------------------------------------------
+
+
+def table1_measurements(ops=2_000):
+    """Micro-measurements behind the Table I trade-off grid.
+
+    Measures, per mode: worst-case memory references for one TLB miss
+    (PWC disabled, cold caches) and whether a guest PT update traps.
+    """
+    measurements = {}
+    for mode in ALL_MODES:
+        config = sandy_bridge_config(mode=mode)
+        config = replace(config, pwc=replace(config.pwc, enabled=False))
+        system = System(config)
+        simulator = Simulator(system)
+        api = simulator.api
+        api.spawn()
+        base = api.mmap(4 << 12)
+        for i in range(4):
+            api.write(base + i * 4096)
+        if mode == MODE_AGILE:
+            # Force the worst case: fully nested (sptr == gptr, 24 refs).
+            proc = system.kernel.current
+            manager = system.vmm.states[proc.pid].manager
+            manager.fully_nested = True
+        system.mmu.flush_all()
+        before_refs = system.mmu.counters.walk_refs
+        before_misses = system.mmu.counters.tlb_misses
+        api.read(base)
+        max_refs = system.mmu.counters.walk_refs - before_refs
+        assert system.mmu.counters.tlb_misses == before_misses + 1
+        # Now: does a page-table update trap to the VMM?
+        if mode == MODE_AGILE:
+            # Steady state: the dynamic leaf is nested, updates direct.
+            traps_before = system.vmm.traps.count("pt_write")
+            system.kernel.current.page_table.set_flags(base, writable=False)
+            pt_update_traps = system.vmm.traps.count("pt_write") - traps_before
+        elif mode in (MODE_SHADOW,):
+            traps_before = system.vmm.traps.count("pt_write")
+            system.kernel.current.page_table.set_flags(base, writable=False)
+            pt_update_traps = system.vmm.traps.count("pt_write") - traps_before
+        elif mode == MODE_NESTED:
+            system.kernel.current.page_table.set_flags(base, writable=False)
+            pt_update_traps = system.vmm.traps.count("pt_write")
+        else:
+            system.kernel.current.page_table.set_flags(base, writable=False)
+            pt_update_traps = 0
+        measurements[mode] = {
+            "max_refs": max_refs,
+            "pt_update_traps": pt_update_traps,
+        }
+    return measurements
+
+
+# -- Table II / Figure 3 ------------------------------------------------------------
+
+
+def table2_measurements():
+    """Measured total walk references at every degree of nesting.
+
+    Builds one agile system, walks the same address with the switching
+    point at each level (PWC disabled), and records total references.
+    Returns {0: 4, 1: 8, 2: 12, 3: 16, 4: 20, "nested": 24}.
+    """
+    config = sandy_bridge_config(mode=MODE_AGILE)
+    config = replace(config, pwc=replace(config.pwc, enabled=False))
+    system = System(config)
+    api = Simulator(system).api
+    api.spawn()
+    base = api.mmap(1 << 12)
+    api.write(base)
+    proc = system.kernel.current
+    manager = system.vmm.states[proc.pid].manager
+
+    # Identify the guest PT node at each level along base's path.
+    from repro.common.params import pt_index
+
+    nodes_by_level = {}
+    node = proc.page_table.root
+    nodes_by_level[4] = node
+    for level in (4, 3, 2):
+        node = proc.page_table.node_at(node.get(pt_index(base, level)).frame)
+        nodes_by_level[level - 1] = node
+
+    def measure():
+        system.mmu.flush_all()
+        before = system.mmu.counters.walk_refs
+        api.read(base)
+        return system.mmu.counters.walk_refs - before
+
+    totals = {}
+    manager.revert_all()
+    totals[0] = measure()
+    # Switch progressively deeper subtrees: d = nested guest levels.
+    for degree, level in ((1, 1), (2, 2), (3, 3), (4, 4)):
+        manager.revert_all()
+        manager.switch_to_nested(nodes_by_level[level].frame)
+        totals[degree] = measure()
+    # Full nested: a separate nested-mode system would report 24; force
+    # the agile full-nested path (sptr == gptr).
+    manager.revert_all()
+    manager.fully_nested = True
+    totals["nested"] = measure()
+    manager.fully_nested = False
+    return totals
+
+
+def figure3_journals():
+    """Chronological access orders per degree of nesting (Figure 3)."""
+    config = sandy_bridge_config(mode=MODE_AGILE)
+    config = replace(config, pwc=replace(config.pwc, enabled=False))
+    system = System(config)
+    api = Simulator(system).api
+    api.spawn()
+    base = api.mmap(1 << 12)
+    api.write(base)
+    proc = system.kernel.current
+    manager = system.vmm.states[proc.pid].manager
+    from repro.common.params import pt_index
+
+    node = proc.page_table.root
+    nodes_by_level = {4: node}
+    for level in (4, 3, 2):
+        node = proc.page_table.node_at(node.get(pt_index(base, level)).frame)
+        nodes_by_level[level - 1] = node
+
+    journals = {}
+
+    def capture(label):
+        # Prime with a real walk (not a TLB hit) so the VMM refills any
+        # shadow entries zapped by the preceding mode change; then
+        # journal one clean walk.
+        system.mmu.flush_all()
+        api.read(base)
+        system.mmu.flush_all()
+        system.mmu.walker.journal = []
+        api.read(base)
+        journals[label] = list(system.mmu.walker.journal)
+        system.mmu.walker.journal = None
+
+    manager.revert_all()
+    capture("shadow-only")
+    for label, level in (("switch@4th", 1), ("switch@3rd", 2),
+                         ("switch@2nd", 3), ("switch@1st", 4)):
+        manager.revert_all()
+        manager.switch_to_nested(nodes_by_level[level].frame)
+        capture(label)
+    manager.revert_all()
+    manager.fully_nested = True
+    capture("nested-only")
+    return journals
+
+
+# -- Figure 5 -----------------------------------------------------------------------------
+
+
+def figure5(ops=DEFAULT_OPS, workload_names=None, page_sizes=(FOUR_KB, TWO_MB),
+            modes=ALL_MODES, **overrides):
+    """The headline experiment: the full grid of Figure 5.
+
+    Returns {workload_name: {(page_size_name, mode): RunMetrics}}.
+    """
+    results = {}
+    for cls in SUITE:
+        if workload_names is not None and cls.name not in workload_names:
+            continue
+        per_config = {}
+        for page_size in page_sizes:
+            for mode in modes:
+                workload = cls(ops=ops, page_size=page_size)
+                metrics = run_one(workload, mode, page_size, **overrides)
+                per_config[(page_size.name, mode)] = metrics
+        results[cls.name] = per_config
+    return results
+
+
+def headline_claims(fig5_results, page_size_name="4K"):
+    """Section VII-A: agile vs best-of-constituents and vs native.
+
+    Returns per-workload dicts plus geometric means, using total
+    (pw + vmm) overhead as the comparison metric.
+    """
+    import math
+
+    rows = []
+    for name, configs in fig5_results.items():
+        def total(mode):
+            metrics = configs[(page_size_name, mode)]
+            return metrics.page_walk_overhead + metrics.vmm_overhead
+
+        native = total(MODE_NATIVE)
+        nested = total(MODE_NESTED)
+        shadow = total(MODE_SHADOW)
+        agile = total(MODE_AGILE)
+        best = min(nested, shadow)
+        # Execution time ratio: (1 + overhead_a) / (1 + overhead_b).
+        vs_best = (1 + best) / (1 + agile)
+        vs_native = (1 + agile) / (1 + native)
+        rows.append({
+            "workload": name,
+            "native": native,
+            "nested": nested,
+            "shadow": shadow,
+            "agile": agile,
+            "best_constituent": best,
+            "agile_speedup_vs_best": vs_best,
+            "agile_slowdown_vs_native": vs_native,
+        })
+    geo = lambda xs: math.exp(sum(math.log(x) for x in xs) / len(xs))
+    summary = {
+        "geomean_speedup_vs_best": geo([r["agile_speedup_vs_best"] for r in rows]),
+        "geomean_slowdown_vs_native": geo([r["agile_slowdown_vs_native"] for r in rows]),
+        "max_slowdown_vs_native": max(r["agile_slowdown_vs_native"] for r in rows),
+    }
+    return rows, summary
+
+
+# -- Table VI -------------------------------------------------------------------------------------
+
+
+def table6(ops=DEFAULT_OPS, workload_names=None):
+    """Table VI: agile-mode TLB-miss mix with PWCs disabled, 4 KB pages."""
+    results = {}
+    for cls in SUITE:
+        if workload_names is not None and cls.name not in workload_names:
+            continue
+        workload = cls(ops=ops)
+        config = sandy_bridge_config(mode=MODE_AGILE)
+        config = replace(config, pwc=replace(config.pwc, enabled=False))
+        system = System(config)
+        results[cls.name] = Simulator(system).run(workload)
+    return results

@@ -1,0 +1,54 @@
+"""Analysis-side access to the Table IV performance model.
+
+The model itself lives in :mod:`repro.core.costmodel`; this module adds
+the comparison helpers the analysis layer uses to put *direct* agile
+simulation and the *projected* (two-step) agile numbers side by side,
+which is how EXPERIMENTS.md validates the methodology port.
+"""
+
+from repro.core.costmodel import (
+    AgileFractions,
+    MeasuredRun,
+    agile_vmm_overhead,
+    agile_walk_overhead,
+    ideal_cycles,
+    measured_run_from_metrics,
+    page_walk_overhead,
+    vmm_overhead,
+)
+
+__all__ = [
+    "AgileFractions",
+    "MeasuredRun",
+    "agile_vmm_overhead",
+    "agile_walk_overhead",
+    "ideal_cycles",
+    "measured_run_from_metrics",
+    "page_walk_overhead",
+    "vmm_overhead",
+    "compare_projection_to_direct",
+]
+
+
+def compare_projection_to_direct(projection, direct_metrics):
+    """Put the two-step projection next to a direct agile simulation.
+
+    ``projection`` is the dict from
+    :func:`repro.analysis.twostep.two_step_projection`;
+    ``direct_metrics`` a RunMetrics from an agile-mode run of the same
+    workload. Returns a dict of (projected, direct) pairs.
+    """
+    return {
+        "pw_overhead": (
+            projection["projected_pw_overhead"],
+            direct_metrics.page_walk_overhead,
+        ),
+        "vmm_overhead": (
+            projection["projected_vmm_overhead"],
+            direct_metrics.vmm_overhead,
+        ),
+        "total_overhead": (
+            projection["projected_pw_overhead"] + projection["projected_vmm_overhead"],
+            direct_metrics.page_walk_overhead + direct_metrics.vmm_overhead,
+        ),
+    }

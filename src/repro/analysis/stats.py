@@ -1,0 +1,95 @@
+"""Multi-seed statistics for simulator experiments.
+
+One seeded run is deterministic; claims about orderings ("agile beats
+the best constituent") deserve error bars. ``run_many`` repeats a
+workload across seeds and aggregates the overheads; ``compare_modes``
+does it for several configurations and reports per-mode summaries.
+"""
+
+import math
+
+from repro.core.machine import System
+from repro.core.simulator import Simulator
+
+
+class Summary:
+    """Mean/stdev/min/max of one scalar across seeds."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values):
+        if not values:
+            raise ValueError("no values to summarize")
+        self.values = list(values)
+
+    @property
+    def mean(self):
+        return sum(self.values) / len(self.values)
+
+    @property
+    def stdev(self):
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values)
+                         / (len(self.values) - 1))
+
+    @property
+    def minimum(self):
+        return min(self.values)
+
+    @property
+    def maximum(self):
+        return max(self.values)
+
+    def __repr__(self):
+        return "Summary(mean=%.4f, stdev=%.4f, n=%d)" % (
+            self.mean, self.stdev, len(self.values))
+
+
+class ModeStats:
+    """Aggregated overheads for one (workload, config) across seeds."""
+
+    def __init__(self, runs):
+        if not runs:
+            raise ValueError("no runs to aggregate")
+        self.runs = runs
+        self.page_walk = Summary([m.page_walk_overhead for m in runs])
+        self.vmm = Summary([m.vmm_overhead for m in runs])
+        self.total = Summary([m.page_walk_overhead + m.vmm_overhead
+                              for m in runs])
+        self.misses_per_kop = Summary([m.miss_rate_per_kop for m in runs])
+
+
+def run_many(workload_factory, config, seeds):
+    """Run ``workload_factory(seed=s)`` on ``config`` for every seed."""
+    runs = []
+    for seed in seeds:
+        system = System(config)
+        runs.append(Simulator(system).run(workload_factory(seed=seed)))
+    return ModeStats(runs)
+
+
+def compare_modes(workload_factory, configs, seeds=(1, 2, 3)):
+    """Multi-seed comparison across configurations.
+
+    ``configs`` maps label -> MachineConfig. Returns {label: ModeStats}.
+    """
+    return {
+        label: run_many(workload_factory, config, seeds)
+        for label, config in configs.items()
+    }
+
+
+def ordering_confidence(stats_a, stats_b):
+    """Fraction of seeds where configuration A's total beat B's.
+
+    1.0 means A won on every seed — the strongest ordering statement a
+    deterministic simulator can make without a parametric model.
+    """
+    wins = sum(
+        1
+        for a, b in zip(stats_a.total.values, stats_b.total.values)
+        if a < b
+    )
+    return wins / len(stats_a.total.values)

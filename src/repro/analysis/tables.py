@@ -1,0 +1,135 @@
+"""Formatters that regenerate the paper's tables from simulator output."""
+
+from repro.core.metrics import TABLE6_COLUMNS
+
+
+def format_table(headers, rows, title=None):
+    """Plain-text table (the benchmarks print these)."""
+    widths = [len(h) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [str(cell) for cell in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, rendered)]
+        rendered_rows.append(rendered)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def table1_rows(measurements):
+    """Table I: the qualitative trade-off grid, from micro-measurements.
+
+    ``measurements`` maps mode -> dict with keys ``max_refs`` (measured
+    worst-case walk references) and ``pt_update_traps`` (VMtraps per
+    guest PT update).
+    """
+    order = ("native", "nested", "shadow", "agile")
+    titles = {
+        "native": "Base Native",
+        "nested": "Nested Paging",
+        "shadow": "Shadow Paging",
+        "agile": "Agile Paging",
+    }
+    translation = {
+        "native": "VA=>PA",
+        "nested": "gVA=>hPA",
+        "shadow": "gVA=>hPA",
+        "agile": "gVA=>hPA",
+    }
+    hardware = {
+        "native": "1D page walk",
+        "nested": "2D+1D page walk",
+        "shadow": "1D page walk",
+        "agile": "2D+1D walk with switching",
+    }
+    rows = []
+    for mode in order:
+        info = measurements[mode]
+        updates = "fast direct" if info["pt_update_traps"] == 0 else "slow mediated by VMM"
+        rows.append((
+            titles[mode],
+            "fast (%s)" % translation[mode],
+            info["max_refs"],
+            updates,
+            hardware[mode],
+        ))
+    return rows
+
+
+TABLE2_LEVELS = (
+    ("PTptr", "page table pointer"),
+    ("L4", "page table level 4 entry"),
+    ("L3", "page table level 3 entry"),
+    ("L2", "page table level 2 entry"),
+    ("L1", "page table entry (PTE)"),
+)
+
+
+def table2_rows(measured_totals):
+    """Table II: per-level memory references by degree of nesting.
+
+    ``measured_totals`` maps degree d (0..4 shadow levels nested, plus
+    "nested") to the measured total references; the per-level split is
+    derived from the architecture (0/4 for the pointer, 1/5 per level).
+    """
+    def split(degree):
+        if degree == "nested":
+            return [4, 5, 5, 5, 5]
+        per_level = [1] * 4
+        for i in range(4 - degree, 4):
+            per_level[i] = 5
+        return [0] + per_level
+
+    rows = []
+    names = ["PTptr"] + [name for name, _ in TABLE2_LEVELS[1:]]
+    for i, name in enumerate(names):
+        native = 0 if name == "PTptr" else 1
+        nested = 4 if name == "PTptr" else 5
+        agile = "%d or %d" % (native, nested)
+        rows.append((name, native, nested, native, agile))
+    totals = ("All", 4, measured_totals["nested"], 4,
+              "%d-%d" % (measured_totals[0], measured_totals["nested"]))
+    rows.append(totals)
+    return rows
+
+
+def table6_rows(results):
+    """Table VI: % of TLB misses per agile mode + avg refs per miss.
+
+    ``results`` maps workload name -> RunMetrics from an agile run with
+    page-walk caches disabled.
+    """
+    rows = []
+    for name, metrics in results.items():
+        mix = metrics.mode_mix()
+        row = [name]
+        for column, _key in TABLE6_COLUMNS:
+            row.append("%.1f%%" % (100.0 * mix.get(column, 0.0)))
+        row.append("%.2f" % metrics.avg_refs_per_miss)
+        rows.append(tuple(row))
+    return rows
+
+
+def figure5_rows(results):
+    """Figure 5 as a table: overhead components per configuration.
+
+    ``results`` maps workload -> {(page_size, mode): RunMetrics}.
+    """
+    rows = []
+    for name, configs in results.items():
+        for (size, mode), metrics in sorted(configs.items()):
+            rows.append((
+                name,
+                "%s:%s" % (size, {"native": "B", "nested": "N",
+                                  "shadow": "S", "agile": "A"}[mode]),
+                "%.1f%%" % (100 * metrics.page_walk_overhead),
+                "%.1f%%" % (100 * metrics.vmm_overhead),
+                "%.1f%%" % (100 * (metrics.page_walk_overhead
+                                   + metrics.vmm_overhead)),
+            ))
+    return rows

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    list       workloads and paging modes
+    run        one workload under one configuration
+    compare    one workload under every mode (incl. the SHSP baseline)
+    figure5    the full Figure 5 grid
+    table6     Table VI (agile miss mix, no PWCs)
+    tables     Tables I / II / III (architecture-level reproductions)
+    sweep      sweep one policy knob and report the effect
+
+Every command prints paper-style tables to stdout and exits non-zero on
+bad arguments, so the tool scripts cleanly.
+"""
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.common.config import EXTENDED_MODES, MODE_AGILE, sandy_bridge_config
+from repro.common.params import PAGE_SIZES
+from repro.core.machine import System
+from repro.core.simulator import Simulator
+from repro.workloads.suite import PAPER_FOOTPRINTS, SUITE
+
+
+def _workload_classes():
+    return {cls.name: cls for cls in SUITE}
+
+
+def _build_config(args):
+    page_size = PAGE_SIZES[args.page_size]
+    overrides = {}
+    if getattr(args, "no_pwc", False):
+        base = sandy_bridge_config()
+        overrides["pwc"] = replace(base.pwc, enabled=False)
+    if getattr(args, "no_ad_assist", False):
+        overrides["hw_ad_assist"] = False
+    if getattr(args, "no_cr3_cache", False):
+        overrides["hw_cr3_cache"] = False
+    return sandy_bridge_config(mode=args.mode, page_size=page_size, **overrides)
+
+
+def _metrics_row(metrics):
+    return (
+        metrics.label,
+        metrics.mode,
+        str(metrics.page_size),
+        metrics.ops,
+        metrics.tlb_misses,
+        "%.2f" % metrics.avg_refs_per_miss,
+        metrics.vmtraps,
+        "%.1f%%" % (100 * metrics.page_walk_overhead),
+        "%.1f%%" % (100 * metrics.vmm_overhead),
+    )
+
+
+METRICS_HEADERS = ("workload", "mode", "page", "ops", "misses",
+                   "refs/miss", "traps", "walk", "vmm")
+
+
+def cmd_list(_args, out):
+    from repro.analysis.tables import format_table
+
+    rows = [(cls.name, PAPER_FOOTPRINTS[cls.name], "%d MB" % cls.footprint_mb,
+             cls.description) for cls in SUITE]
+    print(format_table(("workload", "paper footprint", "scaled", "description"),
+                       rows, title="Workloads"), file=out)
+    print("\nModes: %s" % ", ".join(EXTENDED_MODES), file=out)
+    return 0
+
+
+def cmd_run(args, out):
+    from repro.analysis.tables import format_table
+
+    cls = _workload_classes()[args.workload]
+    config = _build_config(args)
+    metrics = Simulator(System(config)).run(
+        cls(ops=args.ops, page_size=config.page_size))
+    print(format_table(METRICS_HEADERS, [_metrics_row(metrics)]), file=out)
+    if args.verbose:
+        print("\ntrap counts: %r" % (metrics.trap_counts,), file=out)
+        mix = metrics.mode_mix()
+        if mix:
+            print("miss mix:    %s" % "  ".join(
+                "%s=%.1f%%" % (k, 100 * v) for k, v in mix.items()), file=out)
+    return 0
+
+
+def cmd_compare(args, out):
+    from repro.analysis.tables import format_table
+
+    cls = _workload_classes()[args.workload]
+    rows = []
+    for mode in args.modes.split(","):
+        run_args = argparse.Namespace(**{**vars(args), "mode": mode})
+        config = _build_config(run_args)
+        metrics = Simulator(System(config)).run(
+            cls(ops=args.ops, page_size=config.page_size))
+        rows.append(_metrics_row(metrics))
+    print(format_table(METRICS_HEADERS, rows,
+                       title="%s under each paging mode" % args.workload),
+          file=out)
+    return 0
+
+
+def cmd_figure5(args, out):
+    from repro.analysis.experiments import figure5, headline_claims
+    from repro.analysis.plots import render_figure5
+    from repro.analysis.tables import figure5_rows, format_table
+
+    names = set(args.workloads.split(",")) if args.workloads else None
+    results = figure5(ops=args.ops, workload_names=names)
+    print(format_table(("Workload", "Config", "Page walk", "VMM", "Total"),
+                       figure5_rows(results), title="Figure 5"), file=out)
+    if args.chart:
+        print("", file=out)
+        print(render_figure5(results, "4K"), file=out)
+    _rows, summary = headline_claims(results)
+    print("\ngeomean speedup vs best constituent: %.3f" %
+          summary["geomean_speedup_vs_best"], file=out)
+    print("geomean slowdown vs native:          %.3f" %
+          summary["geomean_slowdown_vs_native"], file=out)
+    return 0
+
+
+def cmd_table6(args, out):
+    from repro.analysis.experiments import table6
+    from repro.analysis.tables import format_table, table6_rows
+
+    names = set(args.workloads.split(",")) if args.workloads else None
+    results = table6(ops=args.ops, workload_names=names)
+    print(format_table(
+        ("Workload", "Shadow", "L4", "L3", "L2", "L1", "Nested", "Avg refs"),
+        table6_rows(results), title="Table VI"), file=out)
+    return 0
+
+
+def cmd_tables(_args, out):
+    from repro.analysis.experiments import table1_measurements, table2_measurements
+    from repro.analysis.tables import format_table, table1_rows, table2_rows
+    from repro.common.config import sandy_bridge_tlbs
+
+    print(format_table(
+        ("Technique", "TLB hit", "Max refs", "PT updates", "HW support"),
+        table1_rows(table1_measurements()), title="Table I"), file=out)
+    print("", file=out)
+    print(format_table(
+        ("Level", "Native", "Nested", "Shadow", "Agile"),
+        table2_rows(table2_measurements()), title="Table II"), file=out)
+    print("", file=out)
+    tlbs = sandy_bridge_tlbs()
+    rows = []
+    for name, geometries in (("L1D", tlbs.l1d), ("L1I", tlbs.l1i), ("L2", tlbs.l2)):
+        for size, geometry in sorted(geometries.items()):
+            rows.append((name, size, geometry.entries, geometry.ways))
+    print(format_table(("TLB", "page size", "entries", "ways"), rows,
+                       title="Table III"), file=out)
+    return 0
+
+
+def cmd_sweep(args, out):
+    from repro.analysis.tables import format_table
+
+    cls = _workload_classes()[args.workload]
+    rows = []
+    for raw in args.values.split(","):
+        value = int(raw)
+        config = sandy_bridge_config(mode=MODE_AGILE)
+        config = replace(config, policy=replace(config.policy,
+                                                **{args.param: value}))
+        metrics = Simulator(System(config)).run(cls(ops=args.ops))
+        mix = metrics.mode_mix()
+        rows.append((
+            "%s=%d" % (args.param, value),
+            metrics.vmtraps,
+            "%.2f" % metrics.avg_refs_per_miss,
+            "%.1f%%" % (100 * mix.get("Shadow", 0.0)),
+            "%.1f%%" % (100 * (metrics.page_walk_overhead
+                               + metrics.vmm_overhead)),
+        ))
+    print(format_table(
+        ("setting", "traps", "refs/miss", "shadow misses", "total overhead"),
+        rows, title="Policy sweep (%s, agile)" % args.workload), file=out)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Agile Paging (ISCA 2016) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and modes")
+
+    def add_common(p, with_mode=True):
+        p.add_argument("--workload", choices=sorted(_workload_classes()),
+                       default="mcf")
+        p.add_argument("--ops", type=int, default=60_000)
+        p.add_argument("--page-size", choices=sorted(PAGE_SIZES), default="4K")
+        if with_mode:
+            p.add_argument("--mode", choices=EXTENDED_MODES, default="agile")
+        p.add_argument("--no-pwc", action="store_true",
+                       help="disable page-walk caches")
+        p.add_argument("--no-ad-assist", action="store_true")
+        p.add_argument("--no-cr3-cache", action="store_true")
+
+    run_parser = sub.add_parser("run", help="run one workload/configuration")
+    add_common(run_parser)
+    run_parser.add_argument("--verbose", action="store_true")
+
+    compare_parser = sub.add_parser("compare", help="one workload, every mode")
+    add_common(compare_parser, with_mode=False)
+    compare_parser.add_argument(
+        "--modes", default="native,nested,shadow,shsp,agile")
+
+    fig5_parser = sub.add_parser("figure5", help="the Figure 5 grid")
+    fig5_parser.add_argument("--ops", type=int, default=60_000)
+    fig5_parser.add_argument("--workloads", default=None,
+                             help="comma-separated subset")
+    fig5_parser.add_argument("--chart", action="store_true",
+                             help="render ASCII stacked bars too")
+
+    t6_parser = sub.add_parser("table6", help="Table VI miss mix")
+    t6_parser.add_argument("--ops", type=int, default=60_000)
+    t6_parser.add_argument("--workloads", default=None)
+
+    sub.add_parser("tables", help="Tables I/II/III")
+
+    sweep_parser = sub.add_parser("sweep", help="sweep a policy knob")
+    sweep_parser.add_argument("--workload", choices=sorted(_workload_classes()),
+                              default="memcached")
+    sweep_parser.add_argument("--ops", type=int, default=60_000)
+    sweep_parser.add_argument("--param", default="write_threshold",
+                              choices=("write_threshold", "write_interval",
+                                       "revert_interval"))
+    sweep_parser.add_argument("--values", default="1,2,4,8")
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "figure5": cmd_figure5,
+    "table6": cmd_table6,
+    "tables": cmd_tables,
+    "sweep": cmd_sweep,
+}
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

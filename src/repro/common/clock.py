@@ -1,0 +1,24 @@
+"""The virtual cycle clock shared by every simulated component."""
+
+
+class Clock:
+    """A monotonically advancing cycle counter.
+
+    All costs — ideal per-operation work, page-walk memory references,
+    guest fault handling, VMtraps — advance this one clock, so policy
+    intervals (Section III-C's "fixed time interval") and reported
+    overheads share a time base.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self):
+        self.now = 0
+
+    def advance(self, cycles):
+        if cycles < 0:
+            raise ValueError("time cannot move backwards")
+        self.now += cycles
+
+    def __repr__(self):
+        return "Clock(now=%d)" % self.now

@@ -1,0 +1,266 @@
+"""System assembly: one simulated machine in one paging configuration.
+
+``System`` wires together the physical memories, the guest kernel, the
+MMU, and (for virtualized modes) the VMM, and drives the retry loop that
+models hardware re-executing a faulting access after the OS/VMM resolves
+the fault. It is the object workloads talk to.
+"""
+
+from repro.common.clock import Clock
+from repro.common.config import MODE_NATIVE
+from repro.common.errors import (
+    GuestPageFault,
+    HostPageFault,
+    ShadowNotPresentFault,
+    ShadowProtectionFault,
+    SimulationError,
+)
+from repro.core.metrics import RunMetrics
+from repro.guest.kernel import GuestKernel, GuestPlatform
+from repro.hw.mmu import MMU
+from repro.hw.walkstats import TranslationContext
+from repro.mem.physmem import PhysicalMemory
+from repro.vmm.vmm import VMM
+
+# How often (in operations) the periodic VMM policy work runs.
+POLICY_EPOCH_OPS = 256
+MAX_FAULT_RETRIES = 16
+
+
+class System(GuestPlatform):
+    """A complete machine: hardware + guest OS (+ VMM when virtualized)."""
+
+    def __init__(self, config):
+        self.config = config
+        self.clock = Clock()
+        self.cost = config.cost
+        if config.mode == MODE_NATIVE:
+            # Bare metal: one RAM serves the OS and its page tables.
+            ram = PhysicalMemory(config.host_mem_frames, "ram")
+            self.guest_mem = ram
+            self.host_mem = ram
+        else:
+            self.guest_mem = PhysicalMemory(config.guest_mem_frames, "guest")
+            self.host_mem = PhysicalMemory(config.host_mem_frames, "host")
+        self.mmu = MMU(config, self.host_mem, self.guest_mem)
+        self.vmm = None
+        if config.virtualized:
+            self.vmm = VMM(config, self.guest_mem, self.host_mem, self.mmu, self.clock)
+        self.kernel = GuestKernel(self.guest_mem, platform=self, page_size=config.page_size)
+        self._native_ctxs = {}
+        # Accounting.
+        self.ops = 0
+        self.reads = 0
+        self.writes = 0
+        self.ideal_cycles = 0
+        self.walk_cycles = 0
+        self.tlb_l2_cycles = 0
+        self.guest_fault_cycles = 0
+        self.guest_fault_count = 0
+        self._epoch_ops = 0
+        self._epoch_misses_base = 0
+        self._measurement_start = 0
+
+    # -- GuestPlatform plumbing (kernel -> VMM/hardware) ----------------------
+
+    def observer_for(self, pid):
+        if self.vmm is not None:
+            return self.vmm.observer_for(pid)
+        return None
+
+    def process_created(self, proc):
+        if self.vmm is not None:
+            self.vmm.process_created(proc)
+        else:
+            self._native_ctxs[proc.pid] = TranslationContext(
+                asid=proc.asid, mode=MODE_NATIVE, root_frame=proc.page_table.root_frame
+            )
+
+    def process_destroyed(self, proc):
+        if self.vmm is not None:
+            self.vmm.process_destroyed(proc)
+        else:
+            self._native_ctxs.pop(proc.pid, None)
+            self.mmu.invalidate_asid(proc.asid)
+
+    def invlpg(self, proc, va):
+        if self.vmm is not None:
+            self.vmm.invlpg(proc, va)
+        else:
+            self.mmu.invalidate_page(proc.asid, va)
+
+    def flush_tlb(self, proc):
+        if self.vmm is not None:
+            self.vmm.flush_tlb(proc)
+        else:
+            self.mmu.invalidate_asid(proc.asid)
+
+    def context_switch(self, old, new):
+        if self.vmm is not None:
+            self.vmm.context_switch(old, new)
+
+    # -- the access path ---------------------------------------------------------
+
+    def _ctx_for(self, proc):
+        if self.vmm is not None:
+            return self.vmm.ctx_for(proc)
+        return self._native_ctxs[proc.pid]
+
+    def access(self, va, is_write=False, kind="data"):
+        """One memory access by the current process.
+
+        Models the full hardware/software dance: TLB probe, page walk,
+        guest faults resolved by the guest kernel, VM exits resolved by
+        the VMM, then the retry — charging cycles for each step.
+        """
+        proc = self.kernel.current
+        if proc is None:
+            raise SimulationError("no runnable process")
+        self.ops += 1
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.ideal_cycles += self.cost.cycles_per_op
+        self.clock.advance(self.cost.cycles_per_op)
+        ctx = self._ctx_for(proc)
+        for _attempt in range(MAX_FAULT_RETRIES):
+            try:
+                outcome = self.mmu.translate(ctx, va, is_write, kind)
+            except GuestPageFault as fault:
+                self._charge_refs(fault.refs)
+                self._handle_guest_fault(proc, va, fault.is_write)
+                continue
+            except HostPageFault as fault:
+                self._charge_refs(fault.refs)
+                self.vmm.handle_host_fault(proc, fault)
+                continue
+            except ShadowNotPresentFault as fault:
+                self._charge_refs(fault.refs)
+                if self.vmm.handle_shadow_fault(proc, fault) == "guest_fault":
+                    self._handle_guest_fault(proc, va, fault.is_write)
+                continue
+            except ShadowProtectionFault as fault:
+                self._charge_refs(fault.refs)
+                if self.vmm.handle_shadow_protection(proc, fault) == "guest_fault":
+                    self._handle_guest_fault(proc, va, True)
+                continue
+            self._charge_translation(outcome)
+            self._epoch_ops += 1
+            if self._epoch_ops >= POLICY_EPOCH_OPS:
+                self._policy_epoch()
+            return outcome
+        raise SimulationError(
+            "translation livelock at va=%#x (pid %d, mode %s)"
+            % (va, proc.pid, self.config.mode)
+        )
+
+    def read(self, va):
+        return self.access(va, is_write=False)
+
+    def write(self, va):
+        return self.access(va, is_write=True)
+
+    def _charge_refs(self, refs):
+        cycles = refs * self.cost.cycles_per_walk_ref
+        self.walk_cycles += cycles
+        self.clock.advance(cycles)
+
+    def _charge_translation(self, outcome):
+        if outcome.hit_level == "l2":
+            self.tlb_l2_cycles += self.cost.cycles_tlb_l2_hit
+            self.clock.advance(self.cost.cycles_tlb_l2_hit)
+        elif outcome.walk is not None:
+            if outcome.cached_refs:
+                uncached = outcome.walk.refs - outcome.cached_refs
+                cycles = (uncached * self.cost.cycles_per_walk_ref
+                          + outcome.cached_refs * self.cost.cycles_per_cached_ref)
+                self.walk_cycles += cycles
+                self.clock.advance(cycles)
+            else:
+                self._charge_refs(outcome.walk.refs)
+
+    def _handle_guest_fault(self, proc, va, is_write):
+        self.guest_fault_count += 1
+        self.guest_fault_cycles += self.cost.guest_fault_cycles
+        self.clock.advance(self.cost.guest_fault_cycles)
+        self.kernel.handle_page_fault(proc, va, is_write)
+
+    def _policy_epoch(self):
+        self._epoch_ops = 0
+        if self.vmm is None:
+            return
+        misses = self.mmu.counters.tlb_misses
+        epoch_misses = misses - self._epoch_misses_base
+        self._epoch_misses_base = misses
+        self.vmm.set_miss_rate(1000.0 * epoch_misses / POLICY_EPOCH_OPS)
+        self.vmm.policy_tick()
+
+    def settle_policies(self, intervals=2):
+        """Let VMM policy epochs elapse with the guest idle.
+
+        Advances virtual time by ``intervals`` policy intervals, running
+        the periodic VMM work in between. Workloads use this before
+        ``start_measurement`` to stand in for the minutes of runtime a
+        scaled simulation does not execute, so one-time transitions
+        (agile reversion, SHSP technique selection and its whole-table
+        rebuild) land in warmup where a long real run amortizes them.
+        """
+        if self.vmm is None:
+            return
+        # Flush the partial epoch so the policies see an up-to-date
+        # TLB-miss rate before the idle ticks.
+        self._policy_epoch()
+        step = max(self.config.policy.revert_interval,
+                   self.config.policy.write_interval)
+        for _interval in range(intervals):
+            self.clock.advance(step)
+            self.vmm.policy_tick()
+
+    def reset_counters(self):
+        """Begin the measurement window: zero all accounting.
+
+        Simulated *state* (page tables, TLB contents, policy decisions)
+        is untouched — only counters restart, so metrics describe steady
+        state rather than setup/warmup. The analogue of skipping the
+        ramp-up phase when profiling a long-running workload.
+        """
+        self.ops = 0
+        self.reads = 0
+        self.writes = 0
+        self.ideal_cycles = 0
+        self.walk_cycles = 0
+        self.tlb_l2_cycles = 0
+        self.guest_fault_cycles = 0
+        self.guest_fault_count = 0
+        self.mmu.counters.reset()
+        if self.vmm is not None:
+            self.vmm.traps.reset()
+        self._measurement_start = self.clock.now
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def collect_metrics(self, label="run"):
+        """Snapshot all counters into a :class:`RunMetrics`."""
+        metrics = RunMetrics(label, self.config.mode, self.config.page_size)
+        metrics.ops = self.ops
+        metrics.reads = self.reads
+        metrics.writes = self.writes
+        metrics.total_cycles = self.clock.now - self._measurement_start
+        metrics.ideal_cycles = self.ideal_cycles
+        metrics.walk_cycles = self.walk_cycles
+        metrics.tlb_l2_cycles = self.tlb_l2_cycles
+        metrics.guest_fault_cycles = self.guest_fault_cycles
+        counters = self.mmu.counters
+        metrics.tlb_hits_l1 = counters.tlb_hits_l1
+        metrics.tlb_hits_l2 = counters.tlb_hits_l2
+        metrics.tlb_misses = counters.tlb_misses
+        metrics.walk_refs = counters.walk_refs
+        metrics.fault_refs = counters.fault_refs
+        metrics.walks_by_depth = dict(counters.walks_by_depth)
+        metrics.guest_faults = self.guest_fault_count
+        if self.vmm is not None:
+            metrics.trap_counts = dict(self.vmm.traps.counts)
+            metrics.trap_cycles = dict(self.vmm.traps.cycles)
+            metrics.vmm_cycles = self.vmm.traps.total_attributed_cycles
+        return metrics

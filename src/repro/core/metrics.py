@@ -1,0 +1,129 @@
+"""Run metrics: the simulator's answer to `perf` + the Table IV model.
+
+``RunMetrics`` carries raw counts plus the derived quantities the paper
+reports: execution-time overheads split into page-walk and VMM
+components (Figure 5), the degree-of-nesting mix and average memory
+references per TLB miss (Table VI).
+"""
+
+from repro.hw.walkstats import NESTED_FULL
+from repro.vmm import traps as T
+
+# Table VI column order: full shadow, switch after 3/2/1/0 shadow levels,
+# full nested. Keys into MMUCounters.walks_by_depth.
+TABLE6_COLUMNS = (
+    ("Shadow", 0),
+    ("L4", 1),
+    ("L3", 2),
+    ("L2", 3),
+    ("L1", 4),
+    ("Nested", NESTED_FULL),
+)
+
+
+class RunMetrics:
+    """Everything measured during one simulated run."""
+
+    def __init__(self, label, mode, page_size):
+        self.label = label
+        self.mode = mode
+        self.page_size = page_size
+        # Operation stream.
+        self.ops = 0
+        self.reads = 0
+        self.writes = 0
+        # Cycles by component.
+        self.total_cycles = 0
+        self.ideal_cycles = 0
+        self.walk_cycles = 0
+        self.tlb_l2_cycles = 0
+        self.vmm_cycles = 0
+        self.guest_fault_cycles = 0
+        # Hardware counter snapshot.
+        self.tlb_hits_l1 = 0
+        self.tlb_hits_l2 = 0
+        self.tlb_misses = 0
+        self.walk_refs = 0
+        self.fault_refs = 0
+        self.walks_by_depth = {}
+        # VMM counter snapshot.
+        self.trap_counts = {}
+        self.trap_cycles = {}
+        self.guest_faults = 0
+        self.cow_faults = 0
+
+    # -- derived quantities (the paper's reporting) --------------------------
+
+    @property
+    def vmtraps(self):
+        return sum(self.trap_counts.get(k, 0) for k in T.ALL_TRAP_KINDS)
+
+    @property
+    def page_walk_overhead(self):
+        """Figure 5 bottom bar: page-walk cycles / ideal cycles.
+
+        L2-TLB hit latency is excluded, matching the paper's use of the
+        WALK_DURATION performance counters (STLB hits are part of the
+        memory-system baseline, not of walk overhead).
+        """
+        if not self.ideal_cycles:
+            return 0.0
+        return self.walk_cycles / self.ideal_cycles
+
+    @property
+    def vmm_overhead(self):
+        """Figure 5 top bar: VMM intervention cycles / ideal cycles."""
+        if not self.ideal_cycles:
+            return 0.0
+        return self.vmm_cycles / self.ideal_cycles
+
+    @property
+    def total_overhead(self):
+        if not self.ideal_cycles:
+            return 0.0
+        return (self.total_cycles - self.ideal_cycles) / self.ideal_cycles
+
+    @property
+    def avg_refs_per_miss(self):
+        """Table VI right column: average memory accesses per TLB miss."""
+        if not self.tlb_misses:
+            return 0.0
+        return self.walk_refs / self.tlb_misses
+
+    @property
+    def miss_rate_per_kop(self):
+        if not self.ops:
+            return 0.0
+        return 1000.0 * self.tlb_misses / self.ops
+
+    def mode_mix(self):
+        """Fraction of TLB misses served at each degree of nesting.
+
+        Only meaningful for agile-mode runs (Table VI); other modes
+        return an empty dict.
+        """
+        total = sum(self.walks_by_depth.values())
+        if not total:
+            return {}
+        return {
+            name: self.walks_by_depth.get(key, 0) / total
+            for name, key in TABLE6_COLUMNS
+        }
+
+    def summary(self):
+        """A compact dict for reports and benchmarks."""
+        return {
+            "label": self.label,
+            "mode": self.mode,
+            "page_size": str(self.page_size),
+            "ops": self.ops,
+            "tlb_misses": self.tlb_misses,
+            "avg_refs_per_miss": round(self.avg_refs_per_miss, 2),
+            "vmtraps": self.vmtraps,
+            "page_walk_overhead": round(self.page_walk_overhead, 4),
+            "vmm_overhead": round(self.vmm_overhead, 4),
+            "total_overhead": round(self.total_overhead, 4),
+        }
+
+    def __repr__(self):
+        return "RunMetrics(%r)" % (self.summary(),)

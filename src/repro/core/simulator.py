@@ -1,0 +1,99 @@
+"""The trace-driven run loop and the API workloads program against."""
+
+from repro.common.config import sandy_bridge_config
+from repro.core.machine import System
+
+
+class MachineAPI:
+    """What a workload may do to the machine.
+
+    A thin façade over :class:`System` and its guest kernel, so workload
+    code reads like an application plus the syscalls it makes.
+    """
+
+    def __init__(self, system):
+        self.system = system
+        self.kernel = system.kernel
+
+    # -- plain memory traffic ------------------------------------------------
+
+    def read(self, va):
+        return self.system.access(va, is_write=False)
+
+    def write(self, va):
+        return self.system.access(va, is_write=True)
+
+    def access(self, va, is_write):
+        return self.system.access(va, is_write=is_write)
+
+    # -- "syscalls" -------------------------------------------------------------
+
+    @property
+    def current(self):
+        return self.kernel.current
+
+    def spawn(self, code_pages=None):
+        return self.kernel.create_process(code_pages=code_pages)
+
+    def exit(self, proc):
+        self.kernel.destroy_process(proc)
+
+    def mmap(self, size, writable=True, kind="anon", populate=False, proc=None):
+        proc = proc if proc is not None else self.kernel.current
+        return self.kernel.mmap(proc, size, writable=writable, kind=kind,
+                                populate=populate)
+
+    def munmap(self, va, size, proc=None):
+        proc = proc if proc is not None else self.kernel.current
+        self.kernel.munmap(proc, va, size)
+
+    def fork(self, proc=None):
+        proc = proc if proc is not None else self.kernel.current
+        return self.kernel.fork(proc)
+
+    def switch_to(self, proc):
+        return self.kernel.context_switch(proc.pid)
+
+    def settle(self, intervals=2):
+        """Idle long enough for periodic VMM policies to converge."""
+        self.system.settle_policies(intervals)
+
+    def start_measurement(self):
+        """End setup/warmup: metrics describe steady state from here."""
+        self.system.reset_counters()
+
+    def dedup(self, va, size, group=2, proc=None):
+        proc = proc if proc is not None else self.kernel.current
+        return self.kernel.dedup_region(proc, va, size, group=group)
+
+    def reclaim(self, pages, proc=None):
+        proc = proc if proc is not None else self.kernel.current
+        return self.kernel.reclaim(proc, pages)
+
+
+class Simulator:
+    """Runs one workload on one system configuration."""
+
+    def __init__(self, system):
+        self.system = system
+        self.api = MachineAPI(system)
+
+    def run(self, workload):
+        """Execute the workload to completion; returns RunMetrics."""
+        workload.execute(self.api)
+        return self.system.collect_metrics(label=workload.name)
+
+
+def run_workload(workload, config=None, **config_overrides):
+    """One-call convenience: build a system, run, return metrics.
+
+    This is the primary public entry point::
+
+        from repro import run_workload, sandy_bridge_config
+        metrics = run_workload(my_workload,
+                               sandy_bridge_config(mode="agile"))
+    """
+    if config is None:
+        config = sandy_bridge_config(**config_overrides)
+    system = System(config)
+    return Simulator(system).run(workload)

@@ -1,0 +1,335 @@
+"""The guest operating system.
+
+A deliberately Linux-shaped kernel: demand paging, mmap/munmap, fork with
+copy-on-write, content-based page sharing, and a clock-style reclaimer.
+Its job in this reproduction is to generate *page-table update traffic*
+with the same structure real guests produce — leaf-heavy, bursty, and
+concentrated in the dynamic parts of the address space — because that
+traffic is what the paper's policies feed on.
+
+The kernel never talks to the VMM directly. Guest page-table writes are
+observed by the VMM through the page table's observer; TLB maintenance
+and CR3 writes go through the :class:`GuestPlatform` callbacks, which the
+surrounding system routes (and which trap under shadow paging).
+"""
+
+from repro.common.errors import SimulationError
+from repro.common.params import FOUR_KB, align_up
+from repro.guest.process import CODE_BASE, GuestProcess
+from repro.guest.vma import VMA
+
+
+class GuestPlatform:
+    """Hooks from the guest kernel into the hardware/VMM underneath.
+
+    The default implementation is a bare-metal machine: nothing traps.
+    """
+
+    def observer_for(self, pid):
+        """Page-table observer to attach to a new process's gPT."""
+        return None
+
+    def process_created(self, proc):
+        """A process (and its guest page table) now exists."""
+
+    def process_destroyed(self, proc):
+        """The process's page table is about to be torn down."""
+
+    def invlpg(self, proc, va):
+        """The guest executed INVLPG for ``va``."""
+
+    def flush_tlb(self, proc):
+        """The guest executed a full TLB flush."""
+
+    def context_switch(self, old, new):
+        """The guest wrote CR3 to switch from ``old`` to ``new``."""
+
+
+class GuestKernel:
+    """The guest OS: owns guest-physical memory and all guest processes."""
+
+    CODE_PAGES = 16
+
+    def __init__(self, guest_mem, platform=None, page_size=FOUR_KB):
+        self.guest_mem = guest_mem
+        self.platform = platform if platform is not None else GuestPlatform()
+        self.page_size = page_size
+        self.processes = {}
+        self.current = None
+        self._next_pid = 1
+        self._clock_hands = {}
+        self._free_regions = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def _granule(self):
+        return self.page_size.bytes
+
+    @property
+    def _frames_per_page(self):
+        return 1 << (self.page_size.shift - 12)
+
+    def _page_range(self, va, size):
+        start = va & ~(self._granule - 1)
+        end = align_up(va + size, self._granule)
+        return range(start, end, self._granule)
+
+    def _alloc_page_frames(self, tag=None):
+        """Guest frames backing one page at the kernel's granule."""
+        if self._frames_per_page == 1:
+            return self.guest_mem.alloc_data_page(tag)
+        base = self.guest_mem.alloc_contiguous(self._frames_per_page)
+        from repro.mem.physmem import DataPage
+
+        self.guest_mem.install(base, DataPage(tag))
+        return base
+
+    def _free_page_frames(self, base):
+        for frame in range(base, base + self._frames_per_page):
+            self.guest_mem.free_frame(frame)
+
+    def _release_frame(self, base):
+        """Drop one reference to a (possibly shared) data page."""
+        page = self.guest_mem.read(base)
+        if page is not None and page.shared > 1:
+            page.shared -= 1
+            return
+        self._free_page_frames(base)
+
+    # -- process lifecycle -----------------------------------------------------
+
+    def create_process(self, code_pages=None):
+        """Create a process with a small populated code region."""
+        pid = self._next_pid
+        self._next_pid += 1
+        observer = self.platform.observer_for(pid)
+        proc = GuestProcess(pid, self.guest_mem, observer=observer)
+        self.processes[pid] = proc
+        self.platform.process_created(proc)
+        pages = self.CODE_PAGES if code_pages is None else code_pages
+        if pages:
+            size = pages * self._granule
+            proc.vmas.add(VMA(CODE_BASE, CODE_BASE + size, writable=False, kind="code"))
+            for va in self._page_range(CODE_BASE, size):
+                self._populate(proc, va, writable=False, tag="code")
+        if self.current is None:
+            self.current = proc
+        return proc
+
+    def destroy_process(self, proc):
+        """Tear down a process: free its pages and its page table."""
+        if not proc.alive:
+            raise SimulationError("double destroy of pid %d" % proc.pid)
+        proc.alive = False
+        for va, pte, _level in list(proc.page_table.iter_leaves()):
+            self._release_frame(pte.frame)
+        self.platform.process_destroyed(proc)
+        proc.page_table.destroy()
+        self.platform.flush_tlb(proc)
+        del self.processes[proc.pid]
+        self._clock_hands.pop(proc.pid, None)
+        self._free_regions.pop(proc.pid, None)
+        if self.current is proc:
+            self.current = next(iter(self.processes.values()), None)
+
+    def context_switch(self, pid):
+        """Write CR3: the VMM traps this under shadow-style modes."""
+        proc = self.processes[pid]
+        old, self.current = self.current, proc
+        self.platform.context_switch(old, proc)
+        return proc
+
+    # -- memory mapping ----------------------------------------------------------
+
+    def mmap(self, proc, size, writable=True, kind="anon", populate=False):
+        """Reserve a region; optionally populate it eagerly.
+
+        Freed regions of the same size are reused first (as real
+        allocators do), keeping page-table structure stable across
+        map/unmap churn.
+        """
+        if size <= 0:
+            raise SimulationError("mmap of non-positive size")
+        size = align_up(size, self._granule)
+        free_list = self._free_regions.setdefault(proc.pid, {}).get(size)
+        if free_list:
+            va = free_list.pop()
+        else:
+            va = proc.mmap_cursor
+            proc.mmap_cursor += size + self._granule  # guard gap
+        proc.vmas.add(VMA(va, va + size, writable=writable, kind=kind))
+        if populate:
+            for page_va in self._page_range(va, size):
+                self._populate(proc, page_va, writable=writable)
+        return va
+
+    def munmap(self, proc, va, size):
+        """Unmap a region: leaf PT writes + INVLPGs, frames freed."""
+        size = align_up(size, self._granule)
+        removed = proc.vmas.remove_range(va, va + size)
+        if not removed:
+            raise SimulationError("munmap of unmapped region %#x" % va)
+        if len(removed) == 1 and removed[0].start == va and removed[0].size == size:
+            self._free_regions.setdefault(proc.pid, {}).setdefault(size, []).append(va)
+        for page_va in self._page_range(va, size):
+            old = proc.page_table.unmap(page_va, self.page_size)
+            if old is not None and old.present:
+                self._release_frame(old.frame)
+                proc.resident_pages -= 1
+                self.platform.invlpg(proc, page_va)
+
+    def _populate(self, proc, va, writable, tag=None):
+        base = self._alloc_page_frames(tag)
+        proc.page_table.map(va, base, self.page_size, writable=writable)
+        proc.resident_pages += 1
+        return base
+
+    # -- fault handling --------------------------------------------------------------
+
+    def handle_page_fault(self, proc, va, is_write):
+        """Resolve a guest page fault; the access retries afterwards.
+
+        Returns a string classifying the fault ('minor', 'cow', 'prot')
+        for accounting.
+        """
+        vma = proc.find_vma(va)
+        if is_write and not vma.writable:
+            raise GuestProtectionError(proc.pid, va)
+        page_va = va & ~(self._granule - 1)
+        _node, _index, pte = proc.page_table.leaf_entry(page_va, self.page_size)
+        if pte is not None and pte.present:
+            if is_write and not pte.writable:
+                if vma.cow:
+                    self._break_cow(proc, page_va, pte)
+                    proc.cow_faults += 1
+                    return "cow"
+                # Writable VMA, read-only PTE without COW: re-enable.
+                proc.page_table.set_flags(page_va, self.page_size, writable=True)
+                self.platform.invlpg(proc, page_va)
+                return "prot"
+            # Spurious fault (e.g., raced with another resolution): done.
+            return "spurious"
+        self._populate(proc, page_va, writable=vma.writable and not vma.cow)
+        proc.minor_faults += 1
+        return "minor"
+
+    def _break_cow(self, proc, page_va, pte):
+        """Copy-on-write resolution: private copy or write-enable."""
+        page = self.guest_mem.read(pte.frame)
+        if page is not None and page.shared > 1:
+            page.shared -= 1
+            new_base = self._alloc_page_frames(tag=page.tag)
+            proc.page_table.map(page_va, new_base, self.page_size, writable=True)
+        else:
+            proc.page_table.set_flags(page_va, self.page_size, writable=True)
+        self.platform.invlpg(proc, page_va)
+
+    # -- fork & sharing -----------------------------------------------------------------
+
+    def fork(self, parent):
+        """Fork: clone VMAs, share pages copy-on-write.
+
+        Write-protecting every parent page is the page-table write storm
+        that makes fork expensive under shadow paging.
+        """
+        pid = self._next_pid
+        self._next_pid += 1
+        observer = self.platform.observer_for(pid)
+        child = GuestProcess(pid, self.guest_mem, observer=observer)
+        child.vmas = parent.vmas.clone(mark_cow=True)
+        child.mmap_cursor = parent.mmap_cursor
+        self.processes[pid] = child
+        self.platform.process_created(child)
+        for vma in parent.vmas:
+            if vma.writable:
+                vma.cow = True
+        for va, pte, _level in list(parent.page_table.iter_leaves()):
+            if pte.writable:
+                parent.page_table.set_flags(va, self.page_size, writable=False)
+                self.platform.invlpg(parent, va)
+            page = self.guest_mem.read(pte.frame)
+            if page is not None:
+                page.shared += 1
+            child.page_table.map(va, pte.frame, self.page_size, writable=False)
+            child.resident_pages += 1
+        return child
+
+    def dedup_region(self, proc, va, size, group=2):
+        """Content-based page sharing inside a region (Section V).
+
+        Models a KSM-style scanner: every ``group`` consecutive resident
+        pages are found identical, collapsed onto one frame, and mapped
+        read-only COW. Subsequent writes break the sharing.
+        """
+        size = align_up(size, self._granule)
+        vma = proc.find_vma(va)
+        vma.cow = True
+        resident = []
+        for page_va in self._page_range(va, size):
+            _n, _i, pte = proc.page_table.leaf_entry(page_va, self.page_size)
+            if pte is not None and pte.present:
+                resident.append((page_va, pte))
+        shared = 0
+        for i in range(0, len(resident) - group + 1, group):
+            keeper_va, keeper_pte = resident[i]
+            keeper_page = self.guest_mem.read(keeper_pte.frame)
+            if keeper_page is None:
+                continue
+            proc.page_table.set_flags(keeper_va, self.page_size, writable=False)
+            self.platform.invlpg(proc, keeper_va)
+            for dup_va, dup_pte in resident[i + 1:i + group]:
+                if dup_pte.frame == keeper_pte.frame:
+                    continue
+                self._release_frame(dup_pte.frame)
+                keeper_page.shared += 1
+                proc.page_table.map(dup_va, keeper_pte.frame, self.page_size,
+                                    writable=False)
+                self.platform.invlpg(proc, dup_va)
+                shared += 1
+        return shared
+
+    # -- memory pressure -------------------------------------------------------------------
+
+    def reclaim(self, proc, target_pages, scan_limit=None):
+        """Clock-algorithm page reclaim (Section V, memory pressure).
+
+        Clears accessed bits on the first encounter (a PT write) and
+        evicts pages found still-unreferenced on the second. Like a real
+        kernel's shrinker, each call scans a bounded batch
+        (``scan_limit``, default 8x the target) rather than sweeping the
+        whole resident set at once.
+        """
+        leaves = [(va, pte) for va, pte, _ in proc.page_table.iter_leaves()]
+        if not leaves:
+            return 0
+        hand = self._clock_hands.get(proc.pid, 0) % len(leaves)
+        evicted = 0
+        examined = 0
+        limit = min(2 * len(leaves),
+                    scan_limit if scan_limit is not None else 8 * target_pages)
+        while evicted < target_pages and examined < limit:
+            va, pte = leaves[hand]
+            hand = (hand + 1) % len(leaves)
+            examined += 1
+            if not pte.present:
+                continue
+            if pte.accessed:
+                proc.page_table.set_flags(va, self.page_size, accessed=False)
+            else:
+                proc.page_table.unmap(va, self.page_size)
+                self._release_frame(pte.frame)
+                proc.resident_pages -= 1
+                self.platform.invlpg(proc, va)
+                evicted += 1
+        self._clock_hands[proc.pid] = hand
+        return evicted
+
+
+class GuestProtectionError(Exception):
+    """A write to a read-only VMA: the guest would deliver SIGSEGV."""
+
+    def __init__(self, pid, va):
+        self.pid = pid
+        self.va = va
+        super().__init__("write protection violation: pid %d at %#x" % (pid, va))

@@ -1,0 +1,60 @@
+"""A guest process: its address space and guest page table."""
+
+from repro.guest.vma import AddressSpace
+from repro.mem.pagetable import PageTable
+
+
+class GuestSegfault(Exception):
+    """An access outside every VMA — a workload/simulator bug surface."""
+
+    def __init__(self, pid, va):
+        self.pid = pid
+        self.va = va
+        super().__init__("segfault: pid %d touched unmapped va %#x" % (pid, va))
+
+
+# Guest user-space layout (scaled; the exact values are arbitrary but the
+# mmap region must be disjoint from the code/stack anchors).
+CODE_BASE = 0x0000_0000_0040_0000
+HEAP_BASE = 0x0000_0001_0000_0000
+MMAP_BASE = 0x0000_0010_0000_0000
+STACK_TOP = 0x0000_7FFF_FFF0_0000
+
+
+class GuestProcess:
+    """Per-process guest state the kernel manages.
+
+    ``asid`` tags TLB entries; we reuse the pid. ``page_table`` is the
+    guest page table (gVA=>gPA) the guest OS owns — the VMM mediates
+    writes to it through the table's observer when shadow-covered.
+    """
+
+    def __init__(self, pid, guest_mem, observer=None):
+        self.pid = pid
+        self.asid = pid
+        self.page_table = PageTable(guest_mem, "gPT[%d]" % pid, observer=observer)
+        self.vmas = AddressSpace()
+        self.mmap_cursor = MMAP_BASE
+        self.alive = True
+        # Statistics the kernel maintains (the guest's /proc view).
+        self.minor_faults = 0
+        self.cow_faults = 0
+        self.resident_pages = 0
+
+    @property
+    def gptr(self):
+        """The guest CR3: root gfn of the guest page table."""
+        return self.page_table.root_frame
+
+    def find_vma(self, va):
+        vma = self.vmas.find(va)
+        if vma is None:
+            raise GuestSegfault(self.pid, va)
+        return vma
+
+    def __repr__(self):
+        return "GuestProcess(pid=%d, vmas=%d, rss=%d)" % (
+            self.pid,
+            len(self.vmas),
+            self.resident_pages,
+        )

@@ -1,0 +1,99 @@
+"""Virtual memory areas: the guest OS's view of an address-space region."""
+
+from repro.common.errors import SimulationError
+
+
+class VMA:
+    """One contiguous mapping: [start, end), with region-wide attributes.
+
+    ``cow`` marks regions whose pages may be copy-on-write shared (after a
+    fork or a content-based-sharing pass); the kernel's write-fault path
+    resolves them (Section V, content-based page sharing).
+    """
+
+    __slots__ = ("start", "end", "writable", "kind", "cow")
+
+    def __init__(self, start, end, writable=True, kind="anon", cow=False):
+        if end <= start:
+            raise SimulationError("empty VMA [%#x, %#x)" % (start, end))
+        self.start = start
+        self.end = end
+        self.writable = writable
+        self.kind = kind
+        self.cow = cow
+
+    @property
+    def size(self):
+        return self.end - self.start
+
+    def contains(self, va):
+        return self.start <= va < self.end
+
+    def overlaps(self, start, end):
+        return start < self.end and self.start < end
+
+    def __repr__(self):
+        return "VMA([%#x, %#x), %s%s%s)" % (
+            self.start,
+            self.end,
+            self.kind,
+            " rw" if self.writable else " ro",
+            " cow" if self.cow else "",
+        )
+
+
+class AddressSpace:
+    """An ordered collection of non-overlapping VMAs."""
+
+    def __init__(self):
+        self._vmas = []
+
+    def __iter__(self):
+        return iter(self._vmas)
+
+    def __len__(self):
+        return len(self._vmas)
+
+    def find(self, va):
+        """The VMA containing ``va`` or None."""
+        for vma in self._vmas:
+            if vma.contains(va):
+                return vma
+        return None
+
+    def add(self, vma):
+        for existing in self._vmas:
+            if existing.overlaps(vma.start, vma.end):
+                raise SimulationError("VMA overlap: %r vs %r" % (vma, existing))
+        self._vmas.append(vma)
+        self._vmas.sort(key=lambda v: v.start)
+        return vma
+
+    def remove_range(self, start, end):
+        """Drop or trim VMAs overlapping [start, end); returns removed VMAs.
+
+        Splitting is supported so a partial munmap behaves like Linux.
+        """
+        removed = []
+        kept = []
+        for vma in self._vmas:
+            if not vma.overlaps(start, end):
+                kept.append(vma)
+                continue
+            removed.append(vma)
+            if vma.start < start:
+                kept.append(VMA(vma.start, start, vma.writable, vma.kind, vma.cow))
+            if end < vma.end:
+                kept.append(VMA(end, vma.end, vma.writable, vma.kind, vma.cow))
+        self._vmas = sorted(kept, key=lambda v: v.start)
+        return removed
+
+    def clone(self, mark_cow=True):
+        """A copy of this address space (used by fork)."""
+        copied = AddressSpace()
+        for vma in self._vmas:
+            copied._vmas.append(
+                VMA(vma.start, vma.end, vma.writable, vma.kind,
+                    cow=vma.cow or (mark_cow and vma.writable))
+            )
+        return copied

@@ -1,0 +1,121 @@
+"""Page-table entries.
+
+One PTE class serves all four tables (native, guest, host, shadow). The
+shadow table additionally uses two fields the others never set:
+
+* ``switching`` — the agile-paging switching bit of Section III-A; when
+  set on a shadow entry, ``frame`` holds the frame of the *next guest
+  page-table level* and the hardware walker continues in nested mode,
+* ``guest_node`` — marks that ``frame`` indexes guest-physical memory
+  (a guest PT node) rather than host-physical memory.
+"""
+
+
+class PTE:
+    """A single page-table entry."""
+
+    __slots__ = (
+        "present",
+        "writable",
+        "user",
+        "accessed",
+        "dirty",
+        "huge",
+        "switching",
+        "guest_node",
+        "frame",
+    )
+
+    def __init__(
+        self,
+        frame=0,
+        present=True,
+        writable=True,
+        user=True,
+        accessed=False,
+        dirty=False,
+        huge=False,
+        switching=False,
+        guest_node=False,
+    ):
+        self.frame = frame
+        self.present = present
+        self.writable = writable
+        self.user = user
+        self.accessed = accessed
+        self.dirty = dirty
+        self.huge = huge
+        self.switching = switching
+        self.guest_node = guest_node
+
+    def copy(self):
+        """An independent copy of this entry."""
+        clone = PTE.__new__(PTE)
+        clone.frame = self.frame
+        clone.present = self.present
+        clone.writable = self.writable
+        clone.user = self.user
+        clone.accessed = self.accessed
+        clone.dirty = self.dirty
+        clone.huge = self.huge
+        clone.switching = self.switching
+        clone.guest_node = self.guest_node
+        return clone
+
+    def __repr__(self):
+        flags = "".join(
+            ch
+            for ch, on in (
+                ("P", self.present),
+                ("W", self.writable),
+                ("U", self.user),
+                ("A", self.accessed),
+                ("D", self.dirty),
+                ("H", self.huge),
+                ("S", self.switching),
+                ("g", self.guest_node),
+            )
+            if on
+        )
+        return "PTE(frame=%d, %s)" % (self.frame, flags or "-")
+
+
+class PageTableNode:
+    """One 4 KB page-table page: up to 512 entries, stored sparsely.
+
+    ``level`` records the radix level this node serves (4 = root) and
+    ``frame`` the physical frame the node occupies, so faults and VMM
+    bookkeeping can name it.
+    """
+
+    __slots__ = ("level", "frame", "entries")
+
+    def __init__(self, level, frame):
+        self.level = level
+        self.frame = frame
+        self.entries = {}
+
+    def get(self, index):
+        """The entry at ``index`` or None if never installed."""
+        return self.entries.get(index)
+
+    def set(self, index, pte):
+        self.entries[index] = pte
+
+    def clear(self, index):
+        """Remove the entry at ``index`` (idempotent)."""
+        self.entries.pop(index, None)
+
+    def present_items(self):
+        """Iterate (index, pte) over present entries."""
+        return ((i, e) for i, e in self.entries.items() if e.present)
+
+    def used_entries(self):
+        return len(self.entries)
+
+    def __repr__(self):
+        return "PageTableNode(level=%d, frame=%d, used=%d)" % (
+            self.level,
+            self.frame,
+            len(self.entries),
+        )

@@ -1,0 +1,61 @@
+"""Workload base classes.
+
+A workload is plain Python code programmed against the
+:class:`repro.core.simulator.MachineAPI`: it spawns processes, maps
+memory, and issues the access stream. All randomness comes from a seeded
+generator, so the same workload object class produces an identical
+operation stream on every configuration — the property the paper's
+two-step methodology (and any fair cross-mode comparison) relies on.
+"""
+
+import numpy as np
+
+from repro.common.params import FOUR_KB
+
+
+class Workload:
+    """Base workload: named, sized, deterministic."""
+
+    name = "workload"
+    description = ""
+
+    def __init__(self, ops=100_000, seed=42, page_size=FOUR_KB):
+        self.ops = ops
+        self.seed = seed
+        self.page_size = page_size
+        self.rng = np.random.default_rng(seed)
+
+    @property
+    def granule(self):
+        return self.page_size.bytes
+
+    def execute(self, api):
+        raise NotImplementedError
+
+    def reset(self):
+        """Restore the deterministic starting state for a fresh run."""
+        self.rng = np.random.default_rng(self.seed)
+
+    # -- helpers shared by the suite ------------------------------------------
+
+    def pages_for(self, size_bytes):
+        return max(1, size_bytes // self.granule)
+
+    def region_access(self, api, base, page_indices, write_mask=None):
+        """Issue one access per page index; ``write_mask`` marks writes."""
+        granule = self.granule
+        if write_mask is None:
+            for index in page_indices:
+                api.read(base + int(index) * granule)
+        else:
+            for index, is_write in zip(page_indices, write_mask):
+                api.access(base + int(index) * granule, bool(is_write))
+
+    def warm_region(self, api, base, npages, write=True):
+        """Touch every page once (demand-fault the region in)."""
+        granule = self.granule
+        for index in range(npages):
+            api.access(base + index * granule, write)
+
+    def __repr__(self):
+        return "%s(ops=%d, seed=%d)" % (type(self).__name__, self.ops, self.seed)

@@ -1,0 +1,141 @@
+"""Tests for the experiment runners (Tables I/II/VI, Figures 3/5)."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.tables import (
+    figure5_rows,
+    format_table,
+    table1_rows,
+    table2_rows,
+    table6_rows,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        return experiments.table1_measurements()
+
+    def test_max_refs_match_paper(self, measurements):
+        assert measurements["native"]["max_refs"] == 4
+        assert measurements["nested"]["max_refs"] == 24
+        assert measurements["shadow"]["max_refs"] == 4
+        assert measurements["agile"]["max_refs"] == 24  # worst case
+
+    def test_update_path(self, measurements):
+        assert measurements["native"]["pt_update_traps"] == 0
+        assert measurements["nested"]["pt_update_traps"] == 0
+        assert measurements["shadow"]["pt_update_traps"] >= 1
+        # Agile steady state: the dynamic parts update directly.
+        assert measurements["agile"]["pt_update_traps"] == 0
+
+    def test_rows_render(self, measurements):
+        rows = table1_rows(measurements)
+        assert len(rows) == 4
+        text = format_table(
+            ("Technique", "TLB hit", "Max refs", "PT updates", "HW support"),
+            rows,
+        )
+        assert "Agile Paging" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def totals(self):
+        return experiments.table2_measurements()
+
+    def test_degree_arithmetic(self, totals):
+        """The paper's Table II: 4, 8, 12, 16, 20, 24 references."""
+        assert totals[0] == 4
+        assert totals[1] == 8
+        assert totals[2] == 12
+        assert totals[3] == 16
+        assert totals[4] == 20
+        assert totals["nested"] == 24
+
+    def test_rows_render(self, totals):
+        rows = table2_rows(totals)
+        assert rows[-1][0] == "All"
+        assert rows[-1][2] == 24
+        assert rows[-1][4] == "4-24"
+
+
+class TestFigure3:
+    def test_journal_shapes(self):
+        journals = experiments.figure3_journals()
+        lengths = {label: len(j) for label, j in journals.items()}
+        assert lengths == {
+            "shadow-only": 4,
+            "switch@4th": 8,
+            "switch@3rd": 12,
+            "switch@2nd": 16,
+            "switch@1st": 20,
+            "nested-only": 24,
+        }
+
+    def test_shadow_prefix_order(self):
+        journals = experiments.figure3_journals()
+        assert journals["switch@3rd"][:2] == [("sPT", 4), ("sPT", 3)]
+        assert journals["switch@3rd"][2][0] == "gPT"
+
+
+class TestFigure5AndHeadline:
+    @pytest.fixture(scope="class")
+    def results(self):
+        # Two contrasting workloads keep the test fast.
+        return experiments.figure5(ops=12_000,
+                                   workload_names={"mcf", "dedup"})
+
+    def test_grid_complete(self, results):
+        assert set(results) == {"mcf", "dedup"}
+        for configs in results.values():
+            assert len(configs) == 8  # 2 page sizes x 4 modes
+
+    def test_ordering_claims(self, results):
+        """Agile beats or ties the best constituent (4K pages)."""
+        for name, configs in results.items():
+            def total(mode):
+                m = configs[("4K", mode)]
+                return m.page_walk_overhead + m.vmm_overhead
+
+            best = min(total("nested"), total("shadow"))
+            assert total("agile") <= best * 1.05, name
+
+    def test_2m_reduces_overheads(self, results):
+        for name, configs in results.items():
+            four_k = configs[("4K", "agile")]
+            two_m = configs[("2M", "agile")]
+            assert (two_m.page_walk_overhead
+                    <= four_k.page_walk_overhead + 0.01), name
+
+    def test_headline_summary(self, results):
+        rows, summary = experiments.headline_claims(results)
+        assert len(rows) == 2
+        assert summary["geomean_speedup_vs_best"] >= 1.0
+        assert summary["geomean_slowdown_vs_native"] < 1.5
+
+    def test_figure5_rows_render(self, results):
+        rows = figure5_rows(results)
+        assert len(rows) == 16
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return experiments.table6(ops=12_000, workload_names={"canneal", "dedup"})
+
+    def test_shadow_mode_dominates(self, results):
+        """Most TLB misses are served in full shadow mode (Section VII-B)."""
+        for name, metrics in results.items():
+            mix = metrics.mode_mix()
+            assert mix.get("Shadow", 0.0) > 0.5, (name, mix)
+
+    def test_avg_refs_under_nested_worst_case(self, results):
+        for name, metrics in results.items():
+            assert 4.0 <= metrics.avg_refs_per_miss < 24.0, name
+
+    def test_rows_render(self, results):
+        rows = table6_rows(results)
+        assert len(rows) == 2
+        assert all(len(row) == 8 for row in rows)

@@ -1,0 +1,71 @@
+"""Tests for the multi-seed statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    ModeStats,
+    Summary,
+    compare_modes,
+    ordering_confidence,
+    run_many,
+)
+from repro.common.config import sandy_bridge_config
+from repro.workloads.suite import AstarLike
+
+
+class TestSummary:
+    def test_mean(self):
+        assert Summary([1.0, 2.0, 3.0]).mean == 2.0
+
+    def test_stdev(self):
+        assert Summary([1.0, 3.0]).stdev == pytest.approx(1.4142, rel=1e-3)
+
+    def test_single_value_stdev_zero(self):
+        assert Summary([5.0]).stdev == 0.0
+
+    def test_min_max(self):
+        summary = Summary([3.0, 1.0, 2.0])
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary([])
+
+
+def astar_factory(seed):
+    return AstarLike(ops=6_000, seed=seed)
+
+
+class TestRunMany:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return run_many(astar_factory, sandy_bridge_config(mode="shadow"),
+                        seeds=(1, 2, 3))
+
+    def test_one_run_per_seed(self, stats):
+        assert len(stats.runs) == 3
+
+    def test_seeds_change_streams(self, stats):
+        misses = {m.tlb_misses for m in stats.runs}
+        assert len(misses) > 1
+
+    def test_aggregates_present(self, stats):
+        assert stats.total.mean > 0
+        assert stats.page_walk.mean > 0
+        assert stats.misses_per_kop.mean > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ModeStats([])
+
+
+class TestCompareModes:
+    def test_agile_ordering_holds_across_seeds(self):
+        configs = {
+            "nested": sandy_bridge_config(mode="nested"),
+            "agile": sandy_bridge_config(mode="agile"),
+        }
+        results = compare_modes(astar_factory, configs, seeds=(1, 2, 3))
+        confidence = ordering_confidence(results["agile"], results["nested"])
+        assert confidence == 1.0

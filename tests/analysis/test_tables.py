@@ -1,0 +1,82 @@
+"""Unit tests for the table formatters."""
+
+from repro.analysis.tables import (
+    figure5_rows,
+    format_table,
+    table1_rows,
+    table2_rows,
+    table6_rows,
+)
+from repro.common.params import FOUR_KB
+from repro.core.metrics import RunMetrics
+from repro.hw.walkstats import NESTED_FULL
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bbb"), [("xxxx", 1), ("y", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a   ")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_title(self):
+        text = format_table(("a",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(("col",), [])
+        assert "col" in text
+
+
+class TestTable1Rows:
+    def test_shapes_and_labels(self):
+        measurements = {
+            mode: {"max_refs": refs, "pt_update_traps": traps}
+            for mode, refs, traps in (
+                ("native", 4, 0), ("nested", 24, 0),
+                ("shadow", 4, 2), ("agile", 24, 0),
+            )
+        }
+        rows = table1_rows(measurements)
+        by_name = {row[0]: row for row in rows}
+        assert by_name["Shadow Paging"][3] == "slow mediated by VMM"
+        assert by_name["Nested Paging"][3] == "fast direct"
+        assert by_name["Base Native"][1] == "fast (VA=>PA)"
+        assert "switching" in by_name["Agile Paging"][4]
+
+
+class TestTable2Rows:
+    def test_per_level_arithmetic(self):
+        rows = table2_rows({0: 4, "nested": 24})
+        by_level = {row[0]: row for row in rows}
+        assert by_level["PTptr"][1:] == (0, 4, 0, "0 or 4")
+        assert by_level["L4"][1:] == (1, 5, 1, "1 or 5")
+        assert by_level["All"][1:] == (4, 24, 4, "4-24")
+
+
+def metrics_with(mix, refs):
+    metrics = RunMetrics("wl", "agile", FOUR_KB)
+    metrics.walks_by_depth = mix
+    metrics.tlb_misses = sum(mix.values())
+    metrics.walk_refs = int(refs * metrics.tlb_misses)
+    return metrics
+
+
+class TestTable6Rows:
+    def test_percent_formatting(self):
+        metrics = metrics_with({0: 90, 1: 10, 2: 0, 3: 0, 4: 0,
+                                NESTED_FULL: 0}, refs=4.4)
+        [(name, shadow, l4, *_rest, avg)] = table6_rows({"wl": metrics})
+        assert name == "wl"
+        assert shadow == "90.0%"
+        assert l4 == "10.0%"
+        assert avg == "4.40"
+
+
+class TestFigure5Rows:
+    def test_one_row_per_config(self):
+        metrics = RunMetrics("mcf", "native", FOUR_KB)
+        metrics.ideal_cycles = 100
+        metrics.walk_cycles = 50
+        rows = figure5_rows({"mcf": {("4K", "native"): metrics}})
+        assert rows == [("mcf", "4K:B", "50.0%", "0.0%", "50.0%")]

@@ -1,0 +1,87 @@
+"""Tests for the two-step methodology (Section VI)."""
+
+import pytest
+
+from repro.analysis import twostep
+from repro.analysis.model import compare_projection_to_direct
+from repro.common.config import sandy_bridge_config
+from repro.core.simulator import run_workload
+from repro.workloads.suite import DedupLike, McfLike
+
+
+def dedup_factory():
+    # Enough ops to include several dedup chunk cycles (period 35k).
+    return DedupLike(ops=40_000)
+
+
+def mcf_factory():
+    return McfLike(ops=10_000)
+
+
+class TestStep1:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return twostep.run_step1(dedup_factory())
+
+    def test_records_pt_writes(self, trace):
+        assert trace.total_pt_writes > 0
+
+    def test_finds_dynamic_nodes(self, trace):
+        # Dedup's chunk regions change constantly: some nodes go nested.
+        assert trace.nested_nodes
+
+    def test_fv_fractions_bounded(self, trace):
+        for value in trace.fv.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_hardware_opts_eliminate_cs_and_dirty(self, trace):
+        assert trace.fv["context_switch"] == 1.0
+        assert trace.fv["dirty_sync"] == 1.0
+
+    def test_quiet_workload_has_no_nested_nodes(self):
+        from repro.workloads.suite import CannealLike
+
+        trace = twostep.run_step1(CannealLike(ops=8_000))
+        # Steady-state canneal never updates its page tables.
+        assert trace.eliminated_pt_writes == 0
+
+
+class TestStep2:
+    def test_classifies_misses(self):
+        trace = twostep.run_step1(dedup_factory())
+        fractions, nested_metrics = twostep.run_step2(dedup_factory(), trace)
+        assert nested_metrics.tlb_misses > 0
+        total_fn = sum(fractions.fn.values())
+        assert 0.0 <= total_fn <= 1.0
+        assert fractions.shadow_fraction == pytest.approx(1.0 - total_fn)
+
+    def test_mostly_shadow_for_mcf(self):
+        trace = twostep.run_step1(mcf_factory())
+        fractions, _metrics = twostep.run_step2(mcf_factory(), trace)
+        assert fractions.shadow_fraction > 0.8
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def projection(self):
+        return twostep.two_step_projection(dedup_factory)
+
+    def test_projection_fields(self, projection):
+        assert projection["projected_pw_overhead"] >= 0.0
+        assert projection["projected_vmm_overhead"] >= 0.0
+
+    def test_projection_tracks_direct_simulation(self, projection):
+        """The Table IV model and the direct simulator must agree on the
+        big picture: agile lands near shadow walk cost with far less
+        VMM time than shadow paging."""
+        direct = run_workload(dedup_factory(), sandy_bridge_config(mode="agile"))
+        comparison = compare_projection_to_direct(projection, direct)
+        projected_total, direct_total = comparison["total_overhead"]
+        shadow_total = (projection["shadow"].page_walk_overhead
+                        + projection["shadow"].vmm_overhead)
+        assert projected_total < shadow_total
+        assert direct_total < shadow_total
+
+    def test_projected_vmm_below_shadow(self, projection):
+        shadow_vmm = projection["shadow"].vmm_overhead
+        assert projection["projected_vmm_overhead"] < shadow_vmm

@@ -1,0 +1,71 @@
+"""Unit tests for the fault taxonomy and the virtual clock."""
+
+import pytest
+
+from repro.common.clock import Clock
+from repro.common.errors import (
+    GuestPageFault,
+    HostPageFault,
+    ShadowNotPresentFault,
+    ShadowProtectionFault,
+    SimulationError,
+    TranslationFault,
+    VMExit,
+)
+
+
+class TestFaultHierarchy:
+    def test_guest_fault_is_not_a_vmexit(self):
+        fault = GuestPageFault(0x1000)
+        assert isinstance(fault, TranslationFault)
+        assert not isinstance(fault, VMExit)
+
+    @pytest.mark.parametrize("cls,kwargs", [
+        (HostPageFault, {"gpa": 0x2000}),
+        (ShadowNotPresentFault, {}),
+        (ShadowProtectionFault, {}),
+    ])
+    def test_vmm_faults_are_vmexits(self, cls, kwargs):
+        fault = cls(0x1000, **kwargs)
+        assert isinstance(fault, VMExit)
+
+    def test_fault_carries_refs_and_level(self):
+        fault = GuestPageFault(0x1000, refs=3, level=2, is_write=True)
+        assert fault.refs == 3
+        assert fault.level == 2
+        assert fault.is_write
+
+    def test_host_fault_carries_gpa(self):
+        fault = HostPageFault(0x1000, gpa=0x5000, is_write=True)
+        assert fault.gpa == 0x5000
+        assert fault.is_write
+
+    def test_protection_flag(self):
+        assert GuestPageFault(0, protection=True).protection
+        assert not GuestPageFault(0).protection
+
+    def test_message_mentions_va(self):
+        assert "0x1234" in str(GuestPageFault(0x1234))
+
+    def test_simulation_error_is_not_a_fault(self):
+        assert not isinstance(SimulationError("x"), TranslationFault)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_advances(self):
+        clock = Clock()
+        clock.advance(5)
+        clock.advance(7)
+        assert clock.now == 12
+
+    def test_zero_advance_ok(self):
+        clock = Clock()
+        clock.advance(0)
+        assert clock.now == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)

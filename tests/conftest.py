@@ -1,0 +1,5 @@
+import os
+import sys
+
+# Make the shared helpers importable from every test package.
+sys.path.insert(0, os.path.dirname(__file__))

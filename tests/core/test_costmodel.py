@@ -1,0 +1,118 @@
+"""Unit tests for the Table IV performance model."""
+
+import pytest
+
+from repro.core.costmodel import (
+    AgileFractions,
+    MeasuredRun,
+    agile_vmm_overhead,
+    agile_walk_overhead,
+    ideal_cycles,
+    measured_run_from_metrics,
+    page_walk_overhead,
+    vmm_overhead,
+)
+
+
+class TestBasicFormulas:
+    def test_ideal_is_total_minus_misses(self):
+        run = MeasuredRun(total_cycles=1000, tlb_misses=10, tlb_miss_cycles=200)
+        assert ideal_cycles(run) == 800
+
+    def test_page_walk_overhead(self):
+        # PW = (E - E_ideal - H) / E_ideal
+        run = MeasuredRun(total_cycles=1500, tlb_misses=10,
+                          tlb_miss_cycles=0, hypervisor_cycles=100)
+        assert page_walk_overhead(run, e_ideal=1000) == pytest.approx(0.4)
+
+    def test_vmm_overhead(self):
+        run = MeasuredRun(total_cycles=1500, tlb_misses=0,
+                          tlb_miss_cycles=0, hypervisor_cycles=250)
+        assert vmm_overhead(run, e_ideal=1000) == pytest.approx(0.25)
+
+    def test_avg_cycles_per_miss(self):
+        run = MeasuredRun(total_cycles=0, tlb_misses=4, tlb_miss_cycles=100)
+        assert run.avg_cycles_per_miss == 25.0
+
+    def test_zero_guards(self):
+        run = MeasuredRun(0, 0, 0, 0)
+        assert run.avg_cycles_per_miss == 0.0
+        assert page_walk_overhead(run, 0) == 0.0
+        assert vmm_overhead(run, 0) == 0.0
+
+
+class TestAgileProjection:
+    def setup_method(self):
+        self.shadow = MeasuredRun(total_cycles=0, tlb_misses=100,
+                                  tlb_miss_cycles=100 * 160,
+                                  hypervisor_cycles=50_000)
+        self.nested = MeasuredRun(total_cycles=0, tlb_misses=100,
+                                  tlb_miss_cycles=100 * 960)
+
+    def test_pure_shadow_fractions(self):
+        fractions = AgileFractions(fn={})
+        overhead = agile_walk_overhead(fractions, self.shadow, self.nested,
+                                       base_misses=100, e_ideal=100_000)
+        # All misses at shadow cost: 100 * 160 / 100_000.
+        assert overhead == pytest.approx(0.16)
+
+    def test_pure_nested_fractions(self):
+        fractions = AgileFractions(fn={4: 1.0})
+        overhead = agile_walk_overhead(fractions, self.shadow, self.nested,
+                                       base_misses=100, e_ideal=100_000)
+        assert overhead == pytest.approx(0.96)
+
+    def test_leaf_switch_pays_half(self):
+        # The paper's conservative assumption for FN1.
+        fractions = AgileFractions(fn={1: 1.0})
+        overhead = agile_walk_overhead(fractions, self.shadow, self.nested,
+                                       base_misses=100, e_ideal=100_000)
+        assert overhead == pytest.approx(0.5 * (0.16 + 0.96))
+
+    def test_mixture_is_linear(self):
+        fractions = AgileFractions(fn={2: 0.25})
+        overhead = agile_walk_overhead(fractions, self.shadow, self.nested,
+                                       base_misses=100, e_ideal=100_000)
+        assert overhead == pytest.approx(0.25 * 0.96 + 0.75 * 0.16)
+
+    def test_vmm_elimination(self):
+        fractions = AgileFractions(fv={"pt_write": 0.9, "context_switch": 1.0})
+        overhead = agile_vmm_overhead(
+            fractions,
+            self.shadow,
+            trap_cycles_by_reason={"pt_write": 40_000, "context_switch": 10_000},
+            e_ideal=100_000,
+        )
+        # Eliminated 36k + 10k of 50k: 4k remain.
+        assert overhead == pytest.approx(0.04)
+
+    def test_vmm_never_negative(self):
+        fractions = AgileFractions(fv={"pt_write": 1.0})
+        overhead = agile_vmm_overhead(
+            fractions, self.shadow,
+            trap_cycles_by_reason={"pt_write": 999_999}, e_ideal=100_000,
+        )
+        assert overhead == 0.0
+
+    def test_shadow_fraction_property(self):
+        fractions = AgileFractions(fn={1: 0.2, 3: 0.1})
+        assert fractions.shadow_fraction == pytest.approx(0.7)
+
+
+class TestMetricsAdapter:
+    def test_adapter_maps_fields(self):
+        from repro.common.config import sandy_bridge_config
+        from repro.core.machine import System
+        from repro.core.simulator import MachineAPI
+
+        system = System(sandy_bridge_config(mode="shadow"))
+        api = MachineAPI(system)
+        api.spawn()
+        base = api.mmap(8 << 12)
+        for i in range(8):
+            api.write(base + i * 4096)
+        metrics = system.collect_metrics()
+        run = measured_run_from_metrics(metrics)
+        assert run.total_cycles == metrics.total_cycles
+        assert run.tlb_misses == metrics.tlb_misses
+        assert run.hypervisor_cycles == metrics.vmm_cycles

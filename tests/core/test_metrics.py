@@ -1,0 +1,76 @@
+"""Unit tests for RunMetrics derived quantities."""
+
+import pytest
+
+from repro.common.params import FOUR_KB
+from repro.core.metrics import RunMetrics
+from repro.hw.walkstats import NESTED_FULL
+
+
+def make_metrics(**fields):
+    metrics = RunMetrics("test", "agile", FOUR_KB)
+    for key, value in fields.items():
+        setattr(metrics, key, value)
+    return metrics
+
+
+class TestOverheads:
+    def test_page_walk_overhead(self):
+        metrics = make_metrics(ideal_cycles=1000, walk_cycles=250)
+        assert metrics.page_walk_overhead == 0.25
+
+    def test_l2_cycles_excluded_from_walk_overhead(self):
+        metrics = make_metrics(ideal_cycles=1000, walk_cycles=250,
+                               tlb_l2_cycles=999)
+        assert metrics.page_walk_overhead == 0.25
+
+    def test_vmm_overhead(self):
+        metrics = make_metrics(ideal_cycles=1000, vmm_cycles=570)
+        assert metrics.vmm_overhead == 0.57
+
+    def test_total_overhead(self):
+        metrics = make_metrics(ideal_cycles=1000, total_cycles=1800)
+        assert metrics.total_overhead == pytest.approx(0.8)
+
+    def test_zero_guards(self):
+        metrics = make_metrics()
+        assert metrics.page_walk_overhead == 0.0
+        assert metrics.vmm_overhead == 0.0
+        assert metrics.total_overhead == 0.0
+        assert metrics.avg_refs_per_miss == 0.0
+        assert metrics.miss_rate_per_kop == 0.0
+
+
+class TestMixAndRates:
+    def test_avg_refs(self):
+        metrics = make_metrics(tlb_misses=10, walk_refs=45)
+        assert metrics.avg_refs_per_miss == 4.5
+
+    def test_miss_rate(self):
+        metrics = make_metrics(ops=2000, tlb_misses=10)
+        assert metrics.miss_rate_per_kop == 5.0
+
+    def test_mode_mix(self):
+        metrics = make_metrics(walks_by_depth={0: 80, 1: 15, 2: 5, 3: 0, 4: 0,
+                                               NESTED_FULL: 0})
+        mix = metrics.mode_mix()
+        assert mix["Shadow"] == 0.80
+        assert mix["L4"] == 0.15
+        assert mix["L3"] == 0.05
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_mode_mix_empty(self):
+        assert make_metrics(walks_by_depth={}).mode_mix() == {}
+
+    def test_vmtraps_sums_only_trap_kinds(self):
+        metrics = make_metrics(trap_counts={"pt_write": 5, "ad_assist": 99,
+                                            "context_switch": 2})
+        assert metrics.vmtraps == 7  # ad_assist is hardware, not a trap
+
+    def test_summary_round_trips(self):
+        metrics = make_metrics(ops=100, ideal_cycles=200, walk_cycles=50,
+                               tlb_misses=4, walk_refs=16)
+        summary = metrics.summary()
+        assert summary["ops"] == 100
+        assert summary["avg_refs_per_miss"] == 4.0
+        assert summary["page_walk_overhead"] == 0.25

@@ -1,0 +1,80 @@
+"""Unit tests for the Simulator/MachineAPI layer."""
+
+import pytest
+
+from repro.common.config import sandy_bridge_config
+from repro.core.machine import System
+from repro.core.simulator import MachineAPI, Simulator, run_workload
+from repro.workloads.base import Workload
+
+
+class TinyWorkload(Workload):
+    name = "tiny"
+
+    def execute(self, api):
+        api.spawn()
+        base = api.mmap(8 << 12)
+        for i in range(8):
+            api.write(base + i * 4096)
+        api.start_measurement()
+        for _round in range(4):
+            for i in range(8):
+                api.read(base + i * 4096)
+
+
+class TestMachineAPI:
+    def test_api_surface(self):
+        system = System(sandy_bridge_config(mode="agile"))
+        api = MachineAPI(system)
+        proc = api.spawn()
+        assert api.current is proc
+        base = api.mmap(4 << 12)
+        api.write(base)
+        api.read(base)
+        child = api.fork()
+        api.switch_to(child)
+        assert api.current is child
+        api.switch_to(proc)
+        api.exit(child)
+        api.dedup(base, 4 << 12)
+        api.reclaim(1)
+        api.munmap(base, 4 << 12)
+
+    def test_mmap_defaults_to_current(self):
+        system = System(sandy_bridge_config(mode="native"))
+        api = MachineAPI(system)
+        first = api.spawn()
+        second = api.spawn()
+        api.switch_to(second)
+        va = api.mmap(4 << 12)
+        assert second.vmas.find(va) is not None
+        assert first.vmas.find(va) is None
+
+
+class TestSimulator:
+    def test_run_returns_labeled_metrics(self):
+        system = System(sandy_bridge_config(mode="native"))
+        metrics = Simulator(system).run(TinyWorkload())
+        assert metrics.label == "tiny"
+        assert metrics.ops == 32  # measurement window only
+
+    def test_measurement_window_excludes_setup(self):
+        system = System(sandy_bridge_config(mode="shadow"))
+        metrics = Simulator(system).run(TinyWorkload())
+        # All 8 demand faults happened before start_measurement.
+        assert metrics.guest_faults == 0
+        assert metrics.trap_counts.get("pt_write", 0) == 0
+
+
+class TestRunWorkload:
+    def test_with_explicit_config(self):
+        metrics = run_workload(TinyWorkload(), sandy_bridge_config(mode="nested"))
+        assert metrics.mode == "nested"
+
+    def test_with_overrides(self):
+        metrics = run_workload(TinyWorkload(), mode="shadow")
+        assert metrics.mode == "shadow"
+
+    def test_default_is_native(self):
+        metrics = run_workload(TinyWorkload())
+        assert metrics.mode == "native"

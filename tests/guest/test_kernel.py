@@ -1,0 +1,234 @@
+"""Unit tests for the guest kernel on bare metal (no VMM)."""
+
+import pytest
+
+from repro.common.params import FOUR_KB, TWO_MB
+from repro.guest.kernel import GuestKernel, GuestPlatform, GuestProtectionError
+from repro.guest.process import GuestSegfault
+from repro.mem.physmem import PhysicalMemory
+
+
+class RecordingPlatform(GuestPlatform):
+    def __init__(self):
+        self.invlpgs = []
+        self.switches = []
+        self.created = []
+        self.flushes = 0
+
+    def invlpg(self, proc, va):
+        self.invlpgs.append((proc.pid, va))
+
+    def flush_tlb(self, proc):
+        self.flushes += 1
+
+    def context_switch(self, old, new):
+        self.switches.append((old.pid if old else None, new.pid))
+
+    def process_created(self, proc):
+        self.created.append(proc.pid)
+
+
+@pytest.fixture
+def platform():
+    return RecordingPlatform()
+
+
+@pytest.fixture
+def kernel(platform):
+    return GuestKernel(PhysicalMemory(1 << 15, "guest"), platform=platform)
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.create_process()
+
+
+class TestProcessLifecycle:
+    def test_create_installs_code(self, kernel, proc, platform):
+        assert proc.resident_pages == GuestKernel.CODE_PAGES
+        assert platform.created == [proc.pid]
+        assert kernel.current is proc
+
+    def test_destroy_frees_memory(self, kernel, proc):
+        mem = kernel.guest_mem
+        before = mem.allocator.allocated
+        assert before > 0
+        kernel.destroy_process(proc)
+        assert mem.allocator.allocated == 0
+        assert kernel.current is None
+
+    def test_context_switch(self, kernel, platform):
+        first = kernel.create_process()
+        second = kernel.create_process()
+        kernel.context_switch(second.pid)
+        assert kernel.current is second
+        assert platform.switches[-1] == (first.pid, second.pid)
+
+
+class TestMmap:
+    def test_mmap_reserves_region(self, kernel, proc):
+        va = kernel.mmap(proc, 1 << 20)
+        vma = proc.vmas.find(va)
+        assert vma is not None
+        assert vma.size == 1 << 20
+
+    def test_mmap_lazy_by_default(self, kernel, proc):
+        rss = proc.resident_pages
+        kernel.mmap(proc, 1 << 20)
+        assert proc.resident_pages == rss
+
+    def test_mmap_populate(self, kernel, proc):
+        rss = proc.resident_pages
+        kernel.mmap(proc, 64 << 12, populate=True)
+        assert proc.resident_pages == rss + 64
+
+    def test_munmap_frees(self, kernel, proc, platform):
+        va = kernel.mmap(proc, 16 << 12, populate=True)
+        allocated = kernel.guest_mem.allocator.allocated
+        kernel.munmap(proc, va, 16 << 12)
+        assert kernel.guest_mem.allocator.allocated == allocated - 16
+        assert len(platform.invlpgs) == 16
+        assert proc.vmas.find(va) is None
+
+    def test_munmap_unmapped_raises(self, kernel, proc):
+        with pytest.raises(Exception):
+            kernel.munmap(proc, 0xDEAD0000, 0x1000)
+
+    def test_mmap_regions_disjoint(self, kernel, proc):
+        first = kernel.mmap(proc, 1 << 20)
+        second = kernel.mmap(proc, 1 << 20)
+        assert second >= first + (1 << 20)
+
+
+class TestPageFaults:
+    def test_minor_fault_maps_page(self, kernel, proc):
+        va = kernel.mmap(proc, 1 << 16)
+        outcome = kernel.handle_page_fault(proc, va + 0x2345, is_write=False)
+        assert outcome == "minor"
+        translated = proc.page_table.translate(va + 0x2345)
+        assert translated is not None
+
+    def test_fault_outside_vma_segfaults(self, kernel, proc):
+        with pytest.raises(GuestSegfault):
+            kernel.handle_page_fault(proc, 0xBAD00000000, is_write=False)
+
+    def test_write_to_readonly_vma_raises(self, kernel, proc):
+        va = kernel.mmap(proc, 1 << 16, writable=False)
+        with pytest.raises(GuestProtectionError):
+            kernel.handle_page_fault(proc, va, is_write=True)
+
+    def test_spurious_fault(self, kernel, proc):
+        va = kernel.mmap(proc, 1 << 16)
+        kernel.handle_page_fault(proc, va, is_write=False)
+        assert kernel.handle_page_fault(proc, va, is_write=False) == "spurious"
+
+
+class TestFork:
+    def test_fork_shares_pages_readonly(self, kernel, proc):
+        va = kernel.mmap(proc, 8 << 12, populate=True)
+        child = kernel.fork(proc)
+        parent_pte, _ = proc.page_table.lookup(va)
+        child_pte, _ = child.page_table.lookup(va)
+        assert parent_pte.frame == child_pte.frame
+        assert not parent_pte.writable
+        assert not child_pte.writable
+
+    def test_fork_bumps_share_counts(self, kernel, proc):
+        va = kernel.mmap(proc, 1 << 12, populate=True)
+        pte, _ = proc.page_table.lookup(va)
+        kernel.fork(proc)
+        assert kernel.guest_mem.read(pte.frame).shared == 2
+
+    def test_cow_break_on_parent_write(self, kernel, proc):
+        va = kernel.mmap(proc, 1 << 12, populate=True)
+        child = kernel.fork(proc)
+        old_frame = proc.page_table.lookup(va)[0].frame
+        outcome = kernel.handle_page_fault(proc, va, is_write=True)
+        assert outcome == "cow"
+        new_pte, _ = proc.page_table.lookup(va)
+        assert new_pte.writable
+        assert new_pte.frame != old_frame
+        # Child still sees the original frame.
+        assert child.page_table.lookup(va)[0].frame == old_frame
+
+    def test_cow_last_owner_write_enables_in_place(self, kernel, proc):
+        va = kernel.mmap(proc, 1 << 12, populate=True)
+        child = kernel.fork(proc)
+        kernel.handle_page_fault(proc, va, is_write=True)  # parent copies
+        frame = child.page_table.lookup(va)[0].frame
+        # Child is now sole owner: writing flips the bit, no copy.
+        child.vmas.find(va).cow = True
+        outcome = kernel.handle_page_fault(child, va, is_write=True)
+        assert outcome == "cow"
+        assert child.page_table.lookup(va)[0].frame == frame
+        assert child.page_table.lookup(va)[0].writable
+
+    def test_fork_write_protect_storm(self, kernel, proc, platform):
+        kernel.mmap(proc, 32 << 12, populate=True)
+        platform.invlpgs.clear()
+        kernel.fork(proc)
+        # Every writable parent page got write-protected + INVLPG'd.
+        assert len(platform.invlpgs) >= 32
+
+
+class TestDedup:
+    def test_dedup_collapses_pairs(self, kernel, proc):
+        va = kernel.mmap(proc, 8 << 12, populate=True)
+        allocated = kernel.guest_mem.allocator.allocated
+        shared = kernel.dedup_region(proc, va, 8 << 12, group=2)
+        assert shared == 4
+        assert kernel.guest_mem.allocator.allocated == allocated - 4
+        first, _ = proc.page_table.lookup(va)
+        second, _ = proc.page_table.lookup(va + 0x1000)
+        assert first.frame == second.frame
+        assert not first.writable
+
+    def test_write_after_dedup_breaks_sharing(self, kernel, proc):
+        va = kernel.mmap(proc, 4 << 12, populate=True)
+        kernel.dedup_region(proc, va, 4 << 12, group=2)
+        outcome = kernel.handle_page_fault(proc, va + 0x1000, is_write=True)
+        assert outcome == "cow"
+        first, _ = proc.page_table.lookup(va)
+        second, _ = proc.page_table.lookup(va + 0x1000)
+        assert first.frame != second.frame
+
+
+class TestReclaim:
+    def test_reclaim_prefers_unreferenced(self, kernel, proc):
+        va = kernel.mmap(proc, 4 << 12, populate=True)
+        # Mark page 0 referenced; others stay cold.
+        proc.page_table.set_flags(va, accessed=True)
+        evicted = kernel.reclaim(proc, 2)
+        assert evicted == 2
+        assert proc.page_table.lookup(va)[0] is not None  # hot page survives
+
+    def test_reclaim_clears_accessed_first_pass(self, kernel, proc):
+        va = kernel.mmap(proc, 2 << 12, populate=True)
+        proc.page_table.set_flags(va, accessed=True)
+        proc.page_table.set_flags(va + 0x1000, accessed=True)
+        kernel.reclaim(proc, 1)
+        # Second pass evicts a page whose accessed bit was cleared.
+        resident = sum(1 for _ in proc.page_table.iter_leaves())
+        assert resident == GuestKernel.CODE_PAGES + 1
+
+    def test_reclaim_empty_process(self, kernel):
+        proc = kernel.create_process(code_pages=0)
+        assert kernel.reclaim(proc, 5) == 0
+
+
+class TestHugePages:
+    def test_2m_granule_populate(self):
+        kernel = GuestKernel(PhysicalMemory(1 << 15, "guest"), page_size=TWO_MB)
+        proc = kernel.create_process(code_pages=1)
+        va = kernel.mmap(proc, 4 << 21, populate=True)
+        pte, level = proc.page_table.lookup(va)
+        assert level == 2
+        assert pte.huge
+
+    def test_2m_fault_maps_huge(self):
+        kernel = GuestKernel(PhysicalMemory(1 << 15, "guest"), page_size=TWO_MB)
+        proc = kernel.create_process(code_pages=0)
+        va = kernel.mmap(proc, 2 << 21)
+        kernel.handle_page_fault(proc, va + 12345, is_write=True)
+        pte, level = proc.page_table.lookup(va)
+        assert level == 2

@@ -1,0 +1,59 @@
+"""Unit tests for GuestProcess and its address-space anchors."""
+
+import pytest
+
+from repro.guest.process import (
+    CODE_BASE,
+    GuestProcess,
+    GuestSegfault,
+    HEAP_BASE,
+    MMAP_BASE,
+    STACK_TOP,
+)
+from repro.guest.vma import VMA
+from repro.mem.physmem import PhysicalMemory
+
+
+@pytest.fixture
+def proc():
+    return GuestProcess(7, PhysicalMemory(1024, "guest"))
+
+
+class TestProcess:
+    def test_asid_is_pid(self, proc):
+        assert proc.pid == 7
+        assert proc.asid == 7
+
+    def test_gptr_is_page_table_root(self, proc):
+        assert proc.gptr == proc.page_table.root_frame
+
+    def test_find_vma(self, proc):
+        vma = proc.vmas.add(VMA(0x1000, 0x2000))
+        assert proc.find_vma(0x1800) is vma
+
+    def test_find_vma_segfaults_outside(self, proc):
+        with pytest.raises(GuestSegfault) as exc:
+            proc.find_vma(0xDEAD000)
+        assert exc.value.pid == 7
+        assert exc.value.va == 0xDEAD000
+
+    def test_layout_anchors_ordered(self):
+        assert CODE_BASE < HEAP_BASE < MMAP_BASE < STACK_TOP
+
+    def test_mmap_cursor_starts_at_base(self, proc):
+        assert proc.mmap_cursor == MMAP_BASE
+
+    def test_repr_mentions_pid(self, proc):
+        assert "pid=7" in repr(proc)
+
+    def test_observer_attached_to_table(self):
+        from repro.mem.pagetable import PageTableObserver
+
+        events = []
+
+        class Recorder(PageTableObserver):
+            def node_allocated(self, table, node, parent):
+                events.append(node.level)
+
+        GuestProcess(1, PhysicalMemory(64, "guest"), observer=Recorder())
+        assert events == [4]  # root allocation observed

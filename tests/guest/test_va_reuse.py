@@ -1,0 +1,93 @@
+"""Tests for mmap VA reuse and the settle primitive."""
+
+import pytest
+
+from repro.common.config import sandy_bridge_config
+from repro.core.machine import System
+from repro.core.simulator import MachineAPI
+from repro.guest.kernel import GuestKernel
+from repro.mem.physmem import PhysicalMemory
+
+
+@pytest.fixture
+def kernel():
+    return GuestKernel(PhysicalMemory(1 << 14, "guest"))
+
+
+class TestVAReuse:
+    def test_same_size_region_reused(self, kernel):
+        proc = kernel.create_process()
+        va = kernel.mmap(proc, 8 << 12)
+        kernel.munmap(proc, va, 8 << 12)
+        assert kernel.mmap(proc, 8 << 12) == va
+
+    def test_different_size_not_reused(self, kernel):
+        proc = kernel.create_process()
+        va = kernel.mmap(proc, 8 << 12)
+        kernel.munmap(proc, va, 8 << 12)
+        other = kernel.mmap(proc, 16 << 12)
+        assert other != va
+
+    def test_partial_unmap_not_reused(self, kernel):
+        proc = kernel.create_process()
+        va = kernel.mmap(proc, 8 << 12)
+        kernel.munmap(proc, va, 4 << 12)  # only half
+        fresh = kernel.mmap(proc, 4 << 12)
+        assert fresh != va
+
+    def test_reuse_is_per_process(self, kernel):
+        first = kernel.create_process()
+        second = kernel.create_process()
+        va = kernel.mmap(first, 8 << 12)
+        kernel.munmap(first, va, 8 << 12)
+        kernel.mmap(second, 8 << 12)
+        # The second process did not consume the first one's free region.
+        assert kernel._free_regions[first.pid][8 << 12] == [va]
+        # And the first process still reuses its own.
+        assert kernel.mmap(first, 8 << 12) == va
+
+    def test_exit_drops_free_list(self, kernel):
+        proc = kernel.create_process()
+        va = kernel.mmap(proc, 8 << 12)
+        kernel.munmap(proc, va, 8 << 12)
+        kernel.destroy_process(proc)
+        assert proc.pid not in kernel._free_regions
+
+    def test_reuse_keeps_pt_structure(self, kernel):
+        """Reusing a VA means no new intermediate PT nodes."""
+        proc = kernel.create_process()
+        va = kernel.mmap(proc, 8 << 12, populate=True)
+        nodes_before = sum(1 for _ in proc.page_table.iter_nodes())
+        kernel.munmap(proc, va, 8 << 12)
+        va2 = kernel.mmap(proc, 8 << 12, populate=True)
+        nodes_after = sum(1 for _ in proc.page_table.iter_nodes())
+        assert va2 == va
+        assert nodes_after == nodes_before
+
+
+class TestSettle:
+    def test_settle_advances_clock(self):
+        system = System(sandy_bridge_config(mode="agile"))
+        MachineAPI(system).spawn()
+        before = system.clock.now
+        system.settle_policies(intervals=2)
+        assert system.clock.now >= before + 2 * system.config.policy.revert_interval
+
+    def test_settle_reverts_nested_nodes(self):
+        system = System(sandy_bridge_config(mode="agile"))
+        api = MachineAPI(system)
+        proc = api.spawn()
+        base = api.mmap(32 << 12)
+        for i in range(32):
+            api.write(base + i * 4096)
+        manager = system.vmm.states[proc.pid].manager
+        assert manager.nested_node_gfns()
+        api.settle(intervals=3)
+        assert not manager.nested_node_gfns()
+
+    def test_settle_noop_on_native(self):
+        system = System(sandy_bridge_config(mode="native"))
+        MachineAPI(system).spawn()
+        before = system.clock.now
+        system.settle_policies()
+        assert system.clock.now == before

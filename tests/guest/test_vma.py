@@ -1,0 +1,84 @@
+"""Unit tests for VMAs and the address-space container."""
+
+import pytest
+
+from repro.guest.vma import VMA, AddressSpace
+
+
+class TestVMA:
+    def test_basic_properties(self):
+        vma = VMA(0x1000, 0x3000, writable=True, kind="anon")
+        assert vma.size == 0x2000
+        assert vma.contains(0x1000)
+        assert vma.contains(0x2FFF)
+        assert not vma.contains(0x3000)
+
+    def test_rejects_empty(self):
+        with pytest.raises(Exception):
+            VMA(0x1000, 0x1000)
+
+    def test_overlaps(self):
+        vma = VMA(0x1000, 0x3000)
+        assert vma.overlaps(0x2000, 0x4000)
+        assert vma.overlaps(0x0, 0x1001)
+        assert not vma.overlaps(0x3000, 0x4000)
+        assert not vma.overlaps(0x0, 0x1000)
+
+
+class TestAddressSpace:
+    def test_add_and_find(self):
+        space = AddressSpace()
+        vma = space.add(VMA(0x1000, 0x3000))
+        assert space.find(0x2000) is vma
+        assert space.find(0x4000) is None
+
+    def test_rejects_overlap(self):
+        space = AddressSpace()
+        space.add(VMA(0x1000, 0x3000))
+        with pytest.raises(Exception):
+            space.add(VMA(0x2000, 0x4000))
+
+    def test_sorted_iteration(self):
+        space = AddressSpace()
+        space.add(VMA(0x5000, 0x6000))
+        space.add(VMA(0x1000, 0x2000))
+        assert [v.start for v in space] == [0x1000, 0x5000]
+
+    def test_remove_whole(self):
+        space = AddressSpace()
+        space.add(VMA(0x1000, 0x3000))
+        removed = space.remove_range(0x1000, 0x3000)
+        assert len(removed) == 1
+        assert space.find(0x2000) is None
+
+    def test_remove_splits(self):
+        space = AddressSpace()
+        space.add(VMA(0x1000, 0x5000))
+        space.remove_range(0x2000, 0x3000)
+        assert space.find(0x1000) is not None
+        assert space.find(0x2000) is None
+        assert space.find(0x2FFF) is None
+        assert space.find(0x3000) is not None
+        assert space.find(0x4FFF) is not None
+
+    def test_remove_trims_edges(self):
+        space = AddressSpace()
+        space.add(VMA(0x1000, 0x5000))
+        space.remove_range(0x0, 0x2000)
+        assert space.find(0x1000) is None
+        assert space.find(0x2000) is not None
+
+    def test_clone_marks_cow(self):
+        space = AddressSpace()
+        space.add(VMA(0x1000, 0x2000, writable=True))
+        space.add(VMA(0x3000, 0x4000, writable=False))
+        cloned = space.clone(mark_cow=True)
+        assert cloned.find(0x1000).cow  # writable regions become COW
+        assert not cloned.find(0x3000).cow  # read-only ones do not
+
+    def test_clone_is_independent(self):
+        space = AddressSpace()
+        space.add(VMA(0x1000, 0x2000))
+        cloned = space.clone()
+        cloned.remove_range(0x1000, 0x2000)
+        assert space.find(0x1000) is not None

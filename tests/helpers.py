@@ -1,0 +1,133 @@
+"""Shared builders for hand-constructed translation setups.
+
+These helpers assemble guest/host/shadow page tables directly (without
+the guest kernel or VMM) so hardware-level tests can pin down exact
+reference counts and fault behaviour.
+"""
+
+from repro.common.params import FOUR_KB, ROOT_LEVEL, pt_index
+from repro.hw.walkstats import TranslationContext
+from repro.mem.pagetable import PageTable
+from repro.mem.physmem import PhysicalMemory
+from repro.mem.pte import PTE
+
+
+class TwoLevelSetup:
+    """A guest PT + host PT (+ optional shadow PT) built by hand."""
+
+    def __init__(self, guest_frames=4096, host_frames=8192, page_size=FOUR_KB):
+        self.page_size = page_size
+        self.guest_mem = PhysicalMemory(guest_frames, "guest")
+        self.host_mem = PhysicalMemory(host_frames, "host")
+        self.gpt = PageTable(self.guest_mem, "gPT")
+        self.hpt = PageTable(self.host_mem, "hPT")
+        self.spt = None
+        self._host_mapped = set()
+
+    # -- population ---------------------------------------------------------
+
+    def host_map_gfn(self, gfn, writable=True):
+        """Back one guest frame with a fresh host frame."""
+        if gfn in self._host_mapped:
+            return
+        hfn = self.host_mem.alloc_frame()
+        self.hpt.map(gfn << 12, hfn, writable=writable)
+        self._host_mapped.add(gfn)
+
+    def sync_host_for_pt_nodes(self):
+        """Ensure every guest PT node frame is host-mapped."""
+        for node in self.gpt.iter_nodes():
+            self.host_map_gfn(node.frame)
+
+    def map_guest(self, gva, writable=True):
+        """Map gva in the guest PT and back everything in the host PT."""
+        gfn = self.guest_mem.alloc_data_page()
+        self.gpt.map(gva, gfn, self.page_size, writable=writable)
+        if self.page_size.leaf_level == 1:
+            self.host_map_gfn(gfn)
+        else:
+            span = 1 << (self.page_size.shift - 12)
+            base_hfn = self.host_mem.alloc_contiguous(span)
+            self.hpt.map(gfn << 12, base_hfn, self.page_size)
+            self._host_mapped.add(gfn)
+        self.sync_host_for_pt_nodes()
+        return gfn
+
+    def gfn_to_hfn(self, gfn):
+        translated = self.hpt.translate(gfn << 12)
+        assert translated is not None, "gfn %d not host-mapped" % gfn
+        return translated[0]
+
+    # -- shadow construction --------------------------------------------------
+
+    def build_full_shadow(self, writable_from_guest=True):
+        """Merge gPT and hPT into a complete shadow table."""
+        self.spt = PageTable(self.host_mem, "sPT")
+        for gva, gpte, level in self.gpt.iter_leaves():
+            hfn = self.gfn_to_hfn(gpte.frame)
+            self.spt.map(
+                gva,
+                hfn,
+                self.page_size,
+                writable=gpte.writable if writable_from_guest else False,
+            )
+        return self.spt
+
+    def set_switching(self, gva, switch_below_level):
+        """Make the shadow walk for ``gva`` go nested below a level.
+
+        ``switch_below_level`` is the level whose *shadow entry* carries
+        the switching bit; the levels below it run nested. E.g. with a
+        4-level table, ``switch_below_level=2`` leaves only the leaf
+        level nested (8 total refs, Figure 3(b)).
+        """
+        assert self.spt is not None, "build the shadow table first"
+        # Find the guest node serving level switch_below_level - 1.
+        gnode = self.gpt.root
+        for level in range(ROOT_LEVEL, switch_below_level - 1, -1):
+            gpte = gnode.get(pt_index(gva, level))
+            assert gpte is not None and gpte.present
+            gnode = self.gpt.node_at(gpte.frame)
+        # Find the shadow node holding the entry at switch_below_level.
+        snode = self.spt.root
+        for level in range(ROOT_LEVEL, switch_below_level, -1):
+            spte = snode.get(pt_index(gva, level))
+            assert spte is not None and spte.present
+            snode = self.spt.node_at(spte.frame)
+        index = pt_index(gva, switch_below_level)
+        snode.set(index, PTE(frame=gnode.frame, switching=True, guest_node=True))
+
+    # -- contexts ----------------------------------------------------------------
+
+    def nested_ctx(self, asid=1):
+        return TranslationContext(
+            asid=asid, mode="nested",
+            gptr=self.gpt.root_frame, hptr=self.hpt.root_frame,
+        )
+
+    def shadow_ctx(self, asid=1):
+        assert self.spt is not None
+        return TranslationContext(
+            asid=asid, mode="shadow",
+            gptr=self.gpt.root_frame, hptr=self.hpt.root_frame,
+            sptr=self.spt.root_frame,
+        )
+
+    def agile_ctx(self, asid=1, root_switch=False, fully_nested=False):
+        sptr = None if fully_nested else self.spt.root_frame
+        return TranslationContext(
+            asid=asid, mode="agile",
+            gptr=self.gpt.root_frame, hptr=self.hpt.root_frame,
+            sptr=sptr, root_switch=root_switch,
+        )
+
+
+def make_native_setup(frames=8192):
+    """A single-level (native) page table over one physical memory."""
+    mem = PhysicalMemory(frames, "ram")
+    table = PageTable(mem, "PT")
+    return mem, table
+
+
+def native_ctx(table, asid=1):
+    return TranslationContext(asid=asid, mode="native", root_frame=table.root_frame)

@@ -1,0 +1,62 @@
+"""Unit tests for the nested (gPA=>hPA) TLB."""
+
+import pytest
+
+from repro.hw.nested_tlb import NestedTLB
+
+
+class TestNestedTLB:
+    def test_miss_then_hit(self):
+        ntlb = NestedTLB(4)
+        assert ntlb.lookup(5, is_write=False) is None
+        ntlb.insert(5, 50, writable=True, dirty=True)
+        assert ntlb.lookup(5, is_write=False) == (50, True, True)
+
+    def test_write_through_clean_entry_misses(self):
+        ntlb = NestedTLB(4)
+        ntlb.insert(5, 50, writable=True, dirty=False)
+        assert ntlb.lookup(5, is_write=True) is None
+        assert ntlb.lookup(5, is_write=False) is not None
+
+    def test_write_through_readonly_entry_misses(self):
+        ntlb = NestedTLB(4)
+        ntlb.insert(5, 50, writable=False, dirty=False)
+        assert ntlb.lookup(5, is_write=True) is None
+
+    def test_write_hit_when_dirty(self):
+        ntlb = NestedTLB(4)
+        ntlb.insert(5, 50, writable=True, dirty=True)
+        assert ntlb.lookup(5, is_write=True) is not None
+
+    def test_lru_eviction(self):
+        ntlb = NestedTLB(2)
+        ntlb.insert(1, 10, True, True)
+        ntlb.insert(2, 20, True, True)
+        ntlb.lookup(1, False)  # make gfn 2 the LRU
+        ntlb.insert(3, 30, True, True)
+        assert ntlb.lookup(2, False) is None
+        assert ntlb.lookup(1, False) is not None
+
+    def test_invalidate_gfn(self):
+        ntlb = NestedTLB(4)
+        ntlb.insert(5, 50, True, True)
+        ntlb.invalidate_gfn(5)
+        assert ntlb.lookup(5, False) is None
+
+    def test_flush(self):
+        ntlb = NestedTLB(4)
+        ntlb.insert(5, 50, True, True)
+        ntlb.flush()
+        assert ntlb.lookup(5, False) is None
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            NestedTLB(0)
+
+    def test_stats(self):
+        ntlb = NestedTLB(4)
+        ntlb.lookup(1, False)
+        ntlb.insert(1, 10, True, True)
+        ntlb.lookup(1, False)
+        assert ntlb.stats.misses == 1
+        assert ntlb.stats.hits == 1

@@ -1,0 +1,110 @@
+"""Unit tests for the PTE data-cache model."""
+
+import pytest
+
+from repro.hw.ptecache import PTES_PER_LINE, PTECache
+
+
+class TestPTECache:
+    def test_miss_then_hit(self):
+        cache = PTECache(lines=16, ways=4)
+        assert not cache.access("host", 5, 0)
+        assert cache.access("host", 5, 0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_line_granularity(self):
+        cache = PTECache(lines=16, ways=4)
+        cache.access("host", 5, 0)
+        # Entries 0..7 share a 64-byte line.
+        assert cache.access("host", 5, PTES_PER_LINE - 1)
+        assert not cache.access("host", 5, PTES_PER_LINE)
+
+    def test_space_isolation(self):
+        cache = PTECache(lines=16, ways=4)
+        cache.access("host", 5, 0)
+        assert not cache.access("guest", 5, 0)
+
+    def test_capacity_bounded(self):
+        cache = PTECache(lines=8, ways=8)  # one set
+        for frame in range(20):
+            cache.access("host", frame, 0)
+        hits = sum(cache.access("host", frame, 0) for frame in range(20))
+        assert hits < 20
+
+    def test_invalidate_frame(self):
+        cache = PTECache(lines=16, ways=4)
+        cache.access("host", 5, 0)
+        cache.invalidate_frame("host", 5)
+        assert not cache.access("host", 5, 0)
+
+    def test_flush(self):
+        cache = PTECache(lines=16, ways=4)
+        cache.access("host", 5, 0)
+        cache.flush()
+        assert not cache.access("host", 5, 0)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            PTECache(lines=10, ways=4)
+        with pytest.raises(ValueError):
+            PTECache(lines=0, ways=1)
+
+    def test_hit_rate(self):
+        cache = PTECache(lines=16, ways=4)
+        cache.access("host", 1, 0)
+        cache.access("host", 1, 0)
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestIntegration:
+    def test_cached_walks_cost_less(self):
+        """With the PTE cache on, repeat walks of the same path are
+        cheaper than the first one."""
+        from repro.common.config import sandy_bridge_config
+        from repro.core.machine import System
+        from repro.core.simulator import MachineAPI
+        from dataclasses import replace
+
+        def run(pte_cache_lines):
+            config = sandy_bridge_config(mode="nested",
+                                         pte_cache_lines=pte_cache_lines)
+            config = replace(config, pwc=replace(config.pwc, enabled=False))
+            system = System(config)
+            api = MachineAPI(system)
+            api.spawn()
+            base = api.mmap(1 << 12)
+            api.write(base)
+            system.reset_counters()
+            for _i in range(10):
+                system.mmu.hierarchy.flush()  # force re-walks, keep caches
+                api.read(base)
+            return system.walk_cycles
+
+        assert run(pte_cache_lines=512) < run(pte_cache_lines=0)
+
+    def test_nested_benefits_more_than_shadow(self):
+        """Nested walks touch more lines, so PTE caching saves more."""
+        from repro.common.config import sandy_bridge_config
+        from repro.core.machine import System
+        from repro.core.simulator import MachineAPI
+        from dataclasses import replace
+
+        def savings(mode):
+            results = {}
+            for lines in (0, 512):
+                config = sandy_bridge_config(mode=mode, pte_cache_lines=lines)
+                config = replace(config, pwc=replace(config.pwc, enabled=False))
+                system = System(config)
+                api = MachineAPI(system)
+                api.spawn()
+                base = api.mmap(1 << 12)
+                api.write(base)
+                system.reset_counters()
+                for _i in range(10):
+                    system.mmu.hierarchy.flush()
+                    api.read(base)
+                results[lines] = system.walk_cycles
+            return results[0] - results[512]
+
+        assert savings("nested") > savings("shadow")

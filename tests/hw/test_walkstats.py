@@ -1,0 +1,40 @@
+"""Unit tests for WalkResult and TranslationContext."""
+
+from repro.hw.walkstats import NESTED_FULL, TranslationContext, WalkResult
+
+
+class TestWalkResult:
+    def test_fields(self):
+        result = WalkResult(frame=7, page_shift=12, writable=True, dirty=False,
+                            refs=4, nested_levels=0, mode="shadow")
+        assert result.frame == 7
+        assert result.refs == 4
+        assert result.nested_levels == 0
+
+    def test_repr_mentions_refs(self):
+        result = WalkResult(1, 12, True, True, 24, NESTED_FULL, "nested")
+        assert "refs=24" in repr(result)
+
+    def test_nested_full_sentinel_distinct_from_4(self):
+        assert NESTED_FULL != 4
+        assert NESTED_FULL == "full"
+
+
+class TestTranslationContext:
+    def test_native_context(self):
+        ctx = TranslationContext(asid=1, mode="native", root_frame=5)
+        assert ctx.root_frame == 5
+        assert ctx.sptr is None
+        assert not ctx.root_switch
+
+    def test_agile_context(self):
+        ctx = TranslationContext(asid=2, mode="agile", gptr=1, hptr=2,
+                                 sptr=3, root_switch=True)
+        assert ctx.sptr == 3
+        assert ctx.root_switch
+
+    def test_fields_mutable_for_vmm_refresh(self):
+        ctx = TranslationContext(asid=1, mode="agile", sptr=3)
+        ctx.sptr = None
+        ctx.root_switch = True
+        assert ctx.sptr is None

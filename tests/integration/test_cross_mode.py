@@ -1,0 +1,86 @@
+"""Cross-mode integration invariants.
+
+The same deterministic workload must see the same *guest-visible*
+world under every paging technique: identical operation counts,
+identical guest page tables, and translations that always agree with
+the composed gPT+hPT mapping.
+"""
+
+import pytest
+
+from repro.common.config import sandy_bridge_config
+from repro.core.machine import System
+from repro.core.simulator import MachineAPI, Simulator
+from repro.workloads.suite import DedupLike, GccLike, make_suite
+
+MODES = ("native", "nested", "shadow", "agile", "shsp")
+
+
+def run_system(mode, workload):
+    system = System(sandy_bridge_config(mode=mode))
+    metrics = Simulator(system).run(workload)
+    return system, metrics
+
+
+class TestGuestVisibleDeterminism:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_same_guest_page_tables_as_native(self, mode):
+        """The guest's own page tables end up identical regardless of
+        how the VMM virtualizes them."""
+        workload = GccLike(ops=8_000)
+        native_system, _ = run_system("native", GccLike(ops=8_000))
+        other_system, _ = run_system(mode, workload)
+        native_proc = max(native_system.kernel.processes.values(),
+                          key=lambda p: p.resident_pages)
+        other_proc = max(other_system.kernel.processes.values(),
+                         key=lambda p: p.resident_pages)
+        native_leaves = {va: pte.frame for va, pte, _ in
+                         native_proc.page_table.iter_leaves()}
+        other_leaves = {va: pte.frame for va, pte, _ in
+                        other_proc.page_table.iter_leaves()}
+        assert native_leaves == other_leaves
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_same_op_counts(self, mode):
+        _sys_a, native = run_system("native", DedupLike(ops=6_000))
+        _sys_b, other = run_system(mode, DedupLike(ops=6_000))
+        assert native.ops == other.ops
+        assert native.reads == other.reads
+        assert native.writes == other.writes
+
+
+class TestTranslationAgreement:
+    @pytest.mark.parametrize("mode", ("nested", "shadow", "agile", "shsp"))
+    def test_hardware_agrees_with_composed_tables(self, mode):
+        system, _metrics = run_system(mode, DedupLike(ops=6_000))
+        kernel = system.kernel
+        vmm = system.vmm
+        checked = 0
+        for proc in list(kernel.processes.values()):
+            kernel.context_switch(proc.pid)
+            for va, gpte, _level in list(proc.page_table.iter_leaves()):
+                outcome = system.access(va, is_write=False)
+                gfn = proc.page_table.translate(va)[0]
+                assert outcome.frame == vmm.hostpt.translate(gfn), (mode, hex(va))
+                checked += 1
+        assert checked > 50
+
+
+class TestOverheadOrdering:
+    def test_full_ordering_for_update_heavy_workload(self):
+        """dedup: shadow pays traps, nested pays walks, agile pays least."""
+        totals = {}
+        for mode in ("nested", "shadow", "shsp", "agile"):
+            _system, metrics = run_system(mode, DedupLike(ops=40_000))
+            totals[mode] = metrics.page_walk_overhead + metrics.vmm_overhead
+        assert totals["agile"] <= min(totals["nested"], totals["shadow"]) * 1.05
+        assert totals["agile"] <= totals["shsp"] * 1.05
+
+    def test_native_is_floor(self):
+        for workload in make_suite(ops=10_000, names={"astar"}):
+            _n, native = run_system("native", workload)
+        for workload in make_suite(ops=10_000, names={"astar"}):
+            _a, agile = run_system("agile", workload)
+        native_total = native.page_walk_overhead + native.vmm_overhead
+        agile_total = agile.page_walk_overhead + agile.vmm_overhead
+        assert agile_total >= native_total * 0.95

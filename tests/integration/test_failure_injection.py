@@ -1,0 +1,116 @@
+"""Failure injection: exhaustion and misuse surface cleanly.
+
+A simulator that silently wraps or corrupts state on resource
+exhaustion produces garbage results; these tests pin the failure
+behaviour instead.
+"""
+
+import pytest
+
+from repro.common.config import sandy_bridge_config
+from repro.common.errors import SimulationError
+from repro.core.machine import System
+from repro.core.simulator import MachineAPI
+from repro.guest.kernel import GuestProtectionError
+from repro.guest.process import GuestSegfault
+from repro.mem.physmem import OutOfMemoryError
+
+
+def build(mode, **overrides):
+    system = System(sandy_bridge_config(mode=mode, **overrides))
+    return system, MachineAPI(system)
+
+
+class TestGuestMemoryExhaustion:
+    def test_oom_on_demand_faulting(self):
+        _system, api = build("native", host_mem_frames=64)
+        api.spawn(code_pages=1)
+        base = api.mmap(1 << 20)  # reserving is fine...
+        with pytest.raises(OutOfMemoryError):
+            for i in range(256):  # ...backing it all is not
+                api.write(base + i * 4096)
+
+    def test_oom_leaves_earlier_pages_intact(self):
+        system, api = build("native", host_mem_frames=80)
+        api.spawn(code_pages=1)
+        base = api.mmap(1 << 20)
+        written = 0
+        try:
+            for i in range(256):
+                api.write(base + i * 4096)
+                written += 1
+        except OutOfMemoryError:
+            pass
+        assert written > 0
+        # Previously faulted pages still translate.
+        api.read(base)
+
+    def test_host_memory_exhaustion_virtualized(self):
+        system, api = build("nested", guest_mem_frames=1 << 12,
+                            host_mem_frames=96)
+        api.spawn(code_pages=1)
+        base = api.mmap(1 << 20)
+        with pytest.raises(OutOfMemoryError):
+            for i in range(256):
+                api.write(base + i * 4096)
+
+
+class TestAccessViolations:
+    @pytest.mark.parametrize("mode", ["native", "nested", "shadow", "agile"])
+    def test_unmapped_access_segfaults(self, mode):
+        _system, api = build(mode)
+        api.spawn()
+        with pytest.raises(GuestSegfault):
+            api.read(0x7E0000000000)
+
+    @pytest.mark.parametrize("mode", ["native", "nested", "shadow", "agile"])
+    def test_write_to_readonly_vma(self, mode):
+        _system, api = build(mode)
+        api.spawn()
+        base = api.mmap(4 << 12, writable=False)
+        api.read(base)  # reads fine
+        with pytest.raises(GuestProtectionError):
+            api.write(base)
+
+    def test_segfault_names_the_va(self):
+        _system, api = build("shadow")
+        api.spawn()
+        with pytest.raises(GuestSegfault) as exc:
+            api.read(0x7E0000001234)
+        assert exc.value.va == 0x7E0000001234
+
+
+class TestKernelMisuse:
+    def test_double_destroy_rejected(self):
+        system, api = build("agile")
+        first = api.spawn()
+        second = api.spawn()
+        api.exit(second)
+        with pytest.raises(SimulationError):
+            system.kernel.destroy_process(second)
+
+    def test_mmap_zero_rejected(self):
+        system, api = build("native")
+        api.spawn()
+        with pytest.raises(SimulationError):
+            api.mmap(0)
+
+    def test_munmap_unmapped_rejected(self):
+        _system, api = build("native")
+        api.spawn()
+        with pytest.raises(SimulationError):
+            api.munmap(0xDD000000, 4096)
+
+
+class TestRecoveryAfterFailure:
+    @pytest.mark.parametrize("mode", ["shadow", "agile"])
+    def test_machine_usable_after_segfault(self, mode):
+        _system, api = build(mode)
+        api.spawn()
+        base = api.mmap(8 << 12)
+        with pytest.raises(GuestSegfault):
+            api.read(0x7E0000000000)
+        for i in range(8):
+            api.write(base + i * 4096)
+        for i in range(8):
+            api.read(base + i * 4096)

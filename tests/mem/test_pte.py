@@ -1,0 +1,68 @@
+"""Unit tests for PTE and PageTableNode primitives."""
+
+from repro.mem.pte import PTE, PageTableNode
+
+
+class TestPTE:
+    def test_defaults(self):
+        pte = PTE(frame=7)
+        assert pte.present and pte.writable and pte.user
+        assert not (pte.accessed or pte.dirty or pte.huge or pte.switching)
+        assert not pte.guest_node
+
+    def test_copy_is_independent(self):
+        original = PTE(frame=7, dirty=True)
+        clone = original.copy()
+        clone.frame = 8
+        clone.dirty = False
+        assert original.frame == 7
+        assert original.dirty
+
+    def test_copy_preserves_all_fields(self):
+        original = PTE(frame=3, present=False, writable=False, user=False,
+                       accessed=True, dirty=True, huge=True,
+                       switching=True, guest_node=True)
+        clone = original.copy()
+        for field in PTE.__slots__:
+            assert getattr(clone, field) == getattr(original, field), field
+
+    def test_repr_shows_flags(self):
+        pte = PTE(frame=5, dirty=True, switching=True)
+        text = repr(pte)
+        assert "frame=5" in text
+        assert "D" in text
+        assert "S" in text
+
+    def test_repr_empty_flags(self):
+        pte = PTE(frame=0, present=False, writable=False, user=False)
+        assert "-" in repr(pte)
+
+
+class TestPageTableNode:
+    def test_get_set_clear(self):
+        node = PageTableNode(level=2, frame=9)
+        assert node.get(5) is None
+        pte = PTE(frame=1)
+        node.set(5, pte)
+        assert node.get(5) is pte
+        node.clear(5)
+        assert node.get(5) is None
+        node.clear(5)  # idempotent
+
+    def test_present_items_filters(self):
+        node = PageTableNode(level=1, frame=0)
+        node.set(1, PTE(frame=1))
+        node.set(2, PTE(frame=2, present=False))
+        items = dict(node.present_items())
+        assert set(items) == {1}
+
+    def test_used_entries(self):
+        node = PageTableNode(level=1, frame=0)
+        assert node.used_entries() == 0
+        node.set(0, PTE(frame=0))
+        assert node.used_entries() == 1
+
+    def test_repr(self):
+        node = PageTableNode(level=3, frame=12)
+        assert "level=3" in repr(node)
+        assert "frame=12" in repr(node)

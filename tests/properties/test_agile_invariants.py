@@ -1,0 +1,106 @@
+"""Property-based tests for agile-paging-specific invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import sandy_bridge_config
+from repro.core.machine import System
+from repro.core.simulator import MachineAPI
+from repro.vmm.shadowmgr import NODE_NESTED, NODE_SHADOW
+
+
+@st.composite
+def agile_activity(draw):
+    """Random guest activity plus random direct mode-switch requests."""
+    return draw(st.lists(
+        st.tuples(
+            st.sampled_from(["write", "read", "switch", "revert", "tick"]),
+            st.integers(min_value=0, max_value=63),
+        ),
+        min_size=1,
+        max_size=50,
+    ))
+
+
+def _build():
+    system = System(sandy_bridge_config(mode="agile"))
+    api = MachineAPI(system)
+    proc = api.spawn()
+    base = api.mmap(64 << 12)
+    manager = system.vmm.states[proc.pid].manager
+    return system, api, proc, manager, base
+
+
+class TestAgileCoherence:
+    @settings(max_examples=25, deadline=None)
+    @given(agile_activity())
+    def test_translation_correct_under_any_mode_churn(self, activity):
+        """No interleaving of accesses, policy-driven switches, manual
+        switches/reverts, and ticks may ever produce a wrong
+        translation."""
+        system, api, proc, manager, base = _build()
+        for op, page in activity:
+            va = base + page * 4096
+            if op == "write":
+                api.write(va)
+            elif op == "read":
+                api.read(va)
+            elif op == "switch":
+                gfns = [g for g, m in manager.node_meta.items()
+                        if m.mode == NODE_SHADOW]
+                if gfns:
+                    manager.switch_to_nested(gfns[page % len(gfns)])
+            elif op == "revert":
+                for gfn in manager.nested_node_gfns():
+                    meta = manager.node_meta[gfn]
+                    parent_ok = (gfn == manager.root_gfn or
+                                 manager.node_meta[meta.parent_gfn].mode
+                                 == NODE_SHADOW)
+                    if parent_ok:
+                        manager.revert_to_shadow(gfn)
+                        break
+            elif op == "tick":
+                system.vmm.policy_tick()
+        # Invariant: every mapped page translates to hPT(gPT(va)).
+        for page in range(64):
+            va = base + page * 4096
+            translated = proc.page_table.translate(va)
+            if translated is None:
+                continue
+            outcome = api.read(va)
+            assert outcome.frame == system.vmm.hostpt.translate(translated[0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(agile_activity())
+    def test_mode_map_matches_switching_bits(self, activity):
+        """A shadow-covered node is never reachable through a switching
+        bit, and nested nodes are never write-protected (writes to them
+        never trap)."""
+        system, api, proc, manager, base = _build()
+        for op, page in activity:
+            va = base + page * 4096
+            if op == "write":
+                api.write(va)
+            elif op == "read":
+                api.read(va)
+            elif op == "tick":
+                system.vmm.policy_tick()
+        # Collect every switching entry in the shadow table.
+        switch_targets = set()
+        for node in manager.spt.iter_nodes():
+            for _index, spte in node.present_items():
+                if spte.switching:
+                    switch_targets.add(spte.frame)
+        for gfn in switch_targets:
+            assert manager.node_meta[gfn].mode == NODE_NESTED
+        # Writes to nested nodes must be direct (no PT_WRITE trap).
+        nested = manager.nested_node_gfns()
+        if nested:
+            target = nested[-1]
+            node = manager._guest_node(target)
+            before = system.vmm.traps.count("pt_write")
+            items = list(node.present_items())
+            if items:
+                index, pte = items[0]
+                replacement = pte.copy()
+                proc.page_table._write_entry(node, index, replacement)
+                assert system.vmm.traps.count("pt_write") == before

@@ -1,0 +1,255 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These pin down the invariants DESIGN.md §5 calls out:
+
+* address arithmetic round-trips,
+* the frame allocator never double-allocates,
+* the page table agrees with a reference dict model under arbitrary
+  map/unmap/protect sequences,
+* the TLB never returns stale translations,
+* the agile walk cost law refs = 4 + 4d,
+* shadow coherence: after arbitrary guest activity, every mapped VA
+  translates identically through the shadow path and through the
+  composed guest+host tables.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import (
+    LEVEL_BITS,
+    PAGE_SHIFT,
+    VA_LIMIT,
+    level_shift,
+    pt_index,
+)
+from repro.mem.pagetable import PageTable
+from repro.mem.physmem import FrameAllocator, PhysicalMemory
+
+vas = st.integers(min_value=0, max_value=VA_LIMIT - 1)
+small_vpns = st.integers(min_value=0, max_value=255)
+
+
+class TestAddressArithmetic:
+    @given(vas)
+    def test_indices_reconstruct_va(self, va):
+        rebuilt = va & ((1 << PAGE_SHIFT) - 1)
+        for level in range(1, 5):
+            rebuilt |= pt_index(va, level) << level_shift(level)
+        assert rebuilt == va
+
+    @given(vas, st.integers(min_value=1, max_value=4))
+    def test_index_is_nine_bits(self, va, level):
+        assert 0 <= pt_index(va, level) < (1 << LEVEL_BITS)
+
+
+class TestFrameAllocator:
+    @given(st.lists(st.booleans(), max_size=200))
+    def test_never_double_allocates(self, ops):
+        allocator = FrameAllocator(64)
+        live = set()
+        for is_alloc in ops:
+            if is_alloc:
+                if allocator.available == 0:
+                    continue
+                frame = allocator.alloc()
+                assert frame not in live
+                live.add(frame)
+            elif live:
+                frame = live.pop()
+                allocator.free(frame)
+        assert allocator.allocated == len(live)
+
+
+@st.composite
+def pt_ops(draw):
+    """A sequence of (op, vpn) page-table operations."""
+    return draw(st.lists(
+        st.tuples(st.sampled_from(["map", "unmap", "protect"]), small_vpns),
+        max_size=60,
+    ))
+
+
+class TestPageTableModel:
+    @settings(max_examples=50, deadline=None)
+    @given(pt_ops())
+    def test_matches_dict_model(self, ops):
+        mem = PhysicalMemory(4096)
+        table = PageTable(mem)
+        model = {}
+        next_frame = 1000
+        for op, vpn in ops:
+            va = vpn << PAGE_SHIFT
+            if op == "map":
+                table.map(va, next_frame)
+                model[vpn] = next_frame
+                next_frame += 1
+            elif op == "unmap":
+                table.unmap(va)
+                model.pop(vpn, None)
+            else:
+                table.set_flags(va, writable=False)
+        for vpn in range(256):
+            translated = table.translate(vpn << PAGE_SHIFT)
+            if vpn in model:
+                assert translated is not None
+                assert translated[0] == model[vpn]
+            else:
+                assert translated is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(pt_ops())
+    def test_leaf_iteration_matches_model(self, ops):
+        mem = PhysicalMemory(4096)
+        table = PageTable(mem)
+        model = {}
+        for op, vpn in ops:
+            va = vpn << PAGE_SHIFT
+            if op == "map":
+                table.map(va, vpn + 1)
+                model[vpn] = vpn + 1
+            elif op == "unmap":
+                table.unmap(va)
+                model.pop(vpn, None)
+        leaves = {va >> PAGE_SHIFT: pte.frame for va, pte, _ in table.iter_leaves()}
+        assert leaves == model
+
+    @settings(max_examples=30, deadline=None)
+    @given(pt_ops())
+    def test_destroy_frees_all_frames(self, ops):
+        mem = PhysicalMemory(4096)
+        table = PageTable(mem)
+        for op, vpn in ops:
+            va = vpn << PAGE_SHIFT
+            if op == "map":
+                table.map(va, 0)
+            elif op == "unmap":
+                table.unmap(va)
+        table.destroy()
+        assert mem.allocator.allocated == 0
+
+
+@st.composite
+def tlb_ops(draw):
+    return draw(st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "lookup", "inv_page", "flush"]),
+            small_vpns,
+        ),
+        max_size=80,
+    ))
+
+
+class TestTLBFreshness:
+    @settings(max_examples=50, deadline=None)
+    @given(tlb_ops())
+    def test_never_returns_stale_entries(self, ops):
+        from repro.hw.tlb import TLB, TLBEntry
+
+        tlb = TLB(entries=16, ways=4, page_shift=12)
+        # vpn -> last inserted frame (None after invalidation).
+        model = {}
+        version = 0
+        for op, vpn in ops:
+            va = vpn << 12
+            if op == "insert":
+                version += 1
+                tlb.insert(TLBEntry(1, vpn, version, 12, True, True))
+                model[vpn] = version
+            elif op == "lookup":
+                entry = tlb.lookup(1, va)
+                if entry is not None:
+                    # A hit must reflect the most recent insert.
+                    assert model.get(vpn) == entry.frame
+            elif op == "inv_page":
+                tlb.invalidate_page(1, va)
+                model.pop(vpn, None)
+            else:
+                tlb.flush()
+                model.clear()
+
+
+class TestAgileWalkCostLaw:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=(1 << 27) - 1),
+    )
+    def test_refs_equals_4_plus_4d(self, degree, vpn):
+        """For any VA and any switching level: refs = 4 + 4d."""
+        import sys, os
+
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+        from helpers import TwoLevelSetup
+        from repro.hw.walker import PageWalker
+
+        va = vpn << 12
+        setup = TwoLevelSetup()
+        setup.map_guest(va)
+        setup.build_full_shadow()
+        walker = PageWalker(setup.host_mem, setup.guest_mem)
+        if degree == 4:
+            ctx = setup.agile_ctx(root_switch=True)
+        else:
+            if degree:
+                setup.set_switching(va, degree + 1)
+            ctx = setup.agile_ctx()
+        result = walker.agile_walk(va, ctx)
+        assert result.refs == 4 + 4 * degree
+        assert result.nested_levels == degree
+
+
+@st.composite
+def guest_activity(draw):
+    """Random guest memory activity: page indices + op kinds."""
+    return draw(st.lists(
+        st.tuples(
+            st.sampled_from(["write", "read", "unmap", "protect", "remap"]),
+            st.integers(min_value=0, max_value=63),
+        ),
+        min_size=1,
+        max_size=60,
+    ))
+
+
+class TestShadowCoherence:
+    @settings(max_examples=25, deadline=None)
+    @given(guest_activity())
+    def test_shadow_equals_composed_translation(self, activity):
+        """After arbitrary guest activity under shadow paging, every
+        mapped VA translates to hPT(gPT(va)) through the hardware."""
+        from repro.common.config import sandy_bridge_config
+        from repro.core.machine import System
+        from repro.core.simulator import MachineAPI
+
+        system = System(sandy_bridge_config(mode="shadow"))
+        api = MachineAPI(system)
+        api.spawn()
+        base = api.mmap(64 << 12)
+        proc = system.kernel.current
+        for op, page in activity:
+            va = base + page * 4096
+            mapped = proc.page_table.translate(va) is not None
+            if op == "write":
+                api.write(va)
+            elif op == "read":
+                api.read(va)
+            elif op == "unmap" and mapped:
+                proc.page_table.unmap(va)
+                system.invlpg(proc, va)
+                proc.resident_pages -= 1
+            elif op == "protect" and mapped:
+                proc.page_table.set_flags(va, writable=False)
+                system.invlpg(proc, va)
+            elif op == "remap":
+                api.write(va)
+        # Coherence check: hardware translation == composed translation.
+        vmm = system.vmm
+        for page in range(64):
+            va = base + page * 4096
+            guest = proc.page_table.translate(va)
+            if guest is None:
+                continue
+            gfn = guest[0]
+            outcome = api.read(va)
+            expected = vmm.hostpt.translate(gfn)
+            assert outcome.frame == expected

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "doom"])
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mode", "paravirt"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "mcf"
+        assert args.mode == "agile"
+        assert args.page_size == "4K"
+
+
+class TestCommands:
+    def test_list(self):
+        code, text = run_cli(["list"])
+        assert code == 0
+        assert "memcached" in text
+        assert "shsp" in text
+
+    def test_run(self):
+        code, text = run_cli(["run", "--workload", "astar", "--ops", "4000"])
+        assert code == 0
+        assert "astar" in text
+        assert "agile" in text
+
+    def test_run_verbose_shows_mix(self):
+        code, text = run_cli(["run", "--workload", "astar", "--ops", "4000",
+                              "--verbose"])
+        assert code == 0
+        assert "miss mix" in text
+
+    def test_run_2m(self):
+        code, text = run_cli(["run", "--workload", "astar", "--ops", "4000",
+                              "--page-size", "2M", "--mode", "nested"])
+        assert code == 0
+        assert "2M" in text
+
+    def test_run_no_pwc_raises_refs(self):
+        _code, with_pwc = run_cli(["run", "--workload", "astar",
+                                   "--ops", "4000", "--mode", "shadow"])
+        _code, without = run_cli(["run", "--workload", "astar",
+                                  "--ops", "4000", "--mode", "shadow",
+                                  "--no-pwc"])
+
+        def refs(text):
+            line = [l for l in text.splitlines() if l.startswith("astar")][0]
+            return float(line.split()[5])
+
+        assert refs(without) > refs(with_pwc)
+
+    def test_compare(self):
+        code, text = run_cli(["compare", "--workload", "astar",
+                              "--ops", "4000", "--modes", "native,agile"])
+        assert code == 0
+        assert "native" in text
+        assert "agile" in text
+
+    def test_figure5_subset(self):
+        code, text = run_cli(["figure5", "--ops", "6000",
+                              "--workloads", "astar"])
+        assert code == 0
+        assert "4K:A" in text
+        assert "geomean" in text
+
+    def test_table6_subset(self):
+        code, text = run_cli(["table6", "--ops", "6000",
+                              "--workloads", "astar"])
+        assert code == 0
+        assert "Table VI" in text
+
+    def test_tables(self):
+        code, text = run_cli(["tables"])
+        assert code == 0
+        assert "Table I" in text
+        assert "Table II" in text
+        assert "Table III" in text
+
+    def test_sweep(self):
+        code, text = run_cli(["sweep", "--workload", "astar", "--ops", "4000",
+                              "--param", "write_threshold", "--values", "1,8"])
+        assert code == 0
+        assert "write_threshold=1" in text
+        assert "write_threshold=8" in text

@@ -1,0 +1,72 @@
+"""Tests for VMM-initiated (host-level) content-based page sharing."""
+
+import pytest
+
+from repro.common.config import sandy_bridge_config
+from repro.core.machine import System
+from repro.core.simulator import MachineAPI
+from repro.vmm import traps as T
+
+
+def build(mode):
+    system = System(sandy_bridge_config(mode=mode))
+    api = MachineAPI(system)
+    api.spawn()
+    base = api.mmap(8 << 12)
+    for i in range(8):
+        api.write(base + i * 4096)
+    proc = system.kernel.current
+    gfns = [proc.page_table.translate(base + i * 4096)[0] for i in range(8)]
+    return system, api, base, gfns
+
+
+class TestHostShareNested:
+    def test_protects_and_counts(self):
+        system, api, base, gfns = build("nested")
+        protected = system.vmm.host_share_pages(gfns)
+        assert protected == 8
+        assert system.vmm.traps.counts[T.HOST_SHARE] == 1
+        for gfn in gfns:
+            assert not system.vmm.hostpt.leaf_for_gfn(gfn).writable
+
+    def test_write_takes_host_cow_fault(self):
+        system, api, base, gfns = build("nested")
+        system.vmm.host_share_pages(gfns)
+        before = system.vmm.traps.count(T.HOST_FAULT)
+        api.write(base)
+        assert system.vmm.traps.count(T.HOST_FAULT) == before + 1
+        # Resolved: the frame is writable again and writes proceed.
+        api.write(base)
+        assert system.vmm.traps.count(T.HOST_FAULT) == before + 1
+
+    def test_reads_unaffected(self):
+        system, api, base, gfns = build("nested")
+        system.vmm.host_share_pages(gfns)
+        before = system.vmm.traps.count(T.HOST_FAULT)
+        for i in range(8):
+            api.read(base + i * 4096)
+        assert system.vmm.traps.count(T.HOST_FAULT) == before
+
+    def test_unbacked_gfns_skipped(self):
+        system, api, base, gfns = build("nested")
+        assert system.vmm.host_share_pages([10**6]) == 0
+
+
+class TestHostShareShadow:
+    @pytest.mark.parametrize("mode", ["shadow", "agile"])
+    def test_shadow_entries_invalidated_and_cow_resolves(self, mode):
+        system, api, base, gfns = build(mode)
+        system.vmm.host_share_pages(gfns)
+        # Writes must not sneak through stale writable shadow leaves.
+        api.write(base)
+        gfn = gfns[0]
+        assert system.vmm.hostpt.leaf_for_gfn(gfn).writable  # COW resolved
+
+    @pytest.mark.parametrize("mode", ["shadow", "agile"])
+    def test_translation_still_correct(self, mode):
+        system, api, base, gfns = build(mode)
+        expected = [system.vmm.hostpt.translate(g) for g in gfns]
+        system.vmm.host_share_pages(gfns)
+        for i in range(8):
+            outcome = api.read(base + i * 4096)
+            assert outcome.frame == expected[i]

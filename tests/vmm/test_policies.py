@@ -1,0 +1,204 @@
+"""Unit tests for the Section III-C policies."""
+
+import pytest
+
+from repro.common.config import PolicyConfig
+from repro.vmm.policies import (
+    DirtyBitReversionPolicy,
+    NoReversionPolicy,
+    ProcessPolicy,
+    ShortLivedPolicy,
+    SimpleReversionPolicy,
+    WriteTriggerPolicy,
+    make_reversion_policy,
+)
+
+
+class FakeManager:
+    """Just enough manager surface for policy unit tests."""
+
+    def __init__(self, nodes=None):
+        self.switched = []
+        self.reverted = []
+        self.fully_nested = False
+        self.shadow_enabled = False
+        self.root_gfn = 100
+        self._nested = list(nodes or [])
+        self.node_meta = {}
+
+    def switch_to_nested(self, gfn):
+        self.switched.append(gfn)
+        return True
+
+    def revert_to_shadow(self, gfn):
+        self.reverted.append(gfn)
+        meta = self.node_meta.get(gfn)
+        if meta is not None:
+            meta.mode = "shadow"
+        return True
+
+    def revert_all(self):
+        self.reverted.extend(self._nested)
+        count = len(self._nested)
+        self._nested = []
+        return count
+
+    def nested_node_gfns(self):
+        return list(self._nested)
+
+    def enable_shadow_coverage(self):
+        self.fully_nested = False
+        self.shadow_enabled = True
+
+
+class FakeHostPT:
+    def __init__(self, dirty=()):
+        self._dirty = set(dirty)
+
+    def is_dirty(self, gfn):
+        return gfn in self._dirty
+
+    def clear_dirty(self, gfn):
+        self._dirty.discard(gfn)
+
+
+class TestWriteTrigger:
+    def test_single_write_does_not_switch(self):
+        policy = WriteTriggerPolicy(threshold=2, interval=100)
+        manager = FakeManager()
+        assert not policy.note_write(manager, 7, now=0)
+        assert manager.switched == []
+
+    def test_two_writes_in_window_switch(self):
+        policy = WriteTriggerPolicy(threshold=2, interval=100)
+        manager = FakeManager()
+        policy.note_write(manager, 7, now=0)
+        assert policy.note_write(manager, 7, now=50)
+        assert manager.switched == [7]
+
+    def test_writes_outside_window_reset(self):
+        policy = WriteTriggerPolicy(threshold=2, interval=100)
+        manager = FakeManager()
+        policy.note_write(manager, 7, now=0)
+        assert not policy.note_write(manager, 7, now=500)
+        policy.note_write(manager, 7, now=501)
+        assert manager.switched == [7]
+
+    def test_nodes_tracked_independently(self):
+        policy = WriteTriggerPolicy(threshold=2, interval=100)
+        manager = FakeManager()
+        policy.note_write(manager, 7, now=0)
+        assert not policy.note_write(manager, 8, now=1)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            WriteTriggerPolicy(threshold=0)
+
+
+class TestSimpleReversion:
+    def test_reverts_at_interval(self):
+        policy = SimpleReversionPolicy(interval=1000)
+        manager = FakeManager(nodes=[1, 2, 3])
+        assert policy.tick(manager, FakeHostPT(), now=500) == 0
+        assert policy.tick(manager, FakeHostPT(), now=1000) == 3
+
+    def test_no_double_revert_within_interval(self):
+        policy = SimpleReversionPolicy(interval=1000)
+        manager = FakeManager(nodes=[1])
+        policy.tick(manager, FakeHostPT(), now=1000)
+        assert policy.tick(manager, FakeHostPT(), now=1500) == 0
+
+
+class _Meta:
+    def __init__(self, mode, parent_gfn=None):
+        self.mode = mode
+        self.parent_gfn = parent_gfn
+
+
+class TestDirtyBitReversion:
+    def test_clean_nodes_revert(self):
+        policy = DirtyBitReversionPolicy(interval=1000)
+        manager = FakeManager(nodes=[5])
+        manager.node_meta = {5: _Meta("nested", parent_gfn=100),
+                             100: _Meta("shadow")}
+        assert policy.tick(manager, FakeHostPT(), now=1000) == 1
+        assert manager.reverted == [5]
+
+    def test_dirty_nodes_stay_and_get_cleared(self):
+        policy = DirtyBitReversionPolicy(interval=1000)
+        manager = FakeManager(nodes=[5])
+        manager.node_meta = {5: _Meta("nested", parent_gfn=100),
+                             100: _Meta("shadow")}
+        hostpt = FakeHostPT(dirty=[5])
+        assert policy.tick(manager, hostpt, now=1000) == 0
+        assert not hostpt.is_dirty(5)  # cleared for the next interval
+        # Next interval, still clean: now it reverts.
+        assert policy.tick(manager, hostpt, now=2000) == 1
+
+    def test_parent_before_child(self):
+        policy = DirtyBitReversionPolicy(interval=1000)
+        manager = FakeManager(nodes=[100, 5])  # root first (top-down)
+        manager.node_meta = {
+            100: _Meta("nested", parent_gfn=None),
+            5: _Meta("nested", parent_gfn=100),
+        }
+        reverted = policy.tick(manager, FakeHostPT(), now=1000)
+        # Parent reverts first, making the child eligible the same tick.
+        assert reverted == 2
+        assert manager.reverted == [100, 5]
+
+    def test_child_under_nested_parent_waits(self):
+        policy = DirtyBitReversionPolicy(interval=1000)
+        manager = FakeManager(nodes=[5])
+        manager.node_meta = {
+            100: _Meta("nested", parent_gfn=None),
+            5: _Meta("nested", parent_gfn=100),
+        }
+        assert policy.tick(manager, FakeHostPT(), now=1000) == 0
+
+
+class TestShortLived:
+    def test_enables_shadow_after_grace_with_pressure(self):
+        policy = ShortLivedPolicy(grace_cycles=100, miss_rate_threshold=5.0)
+        manager = FakeManager()
+        manager.fully_nested = True
+        policy.tick(manager, now=0, miss_rate_per_kop=50.0)
+        assert not manager.shadow_enabled
+        policy.tick(manager, now=200, miss_rate_per_kop=50.0)
+        assert manager.shadow_enabled
+
+    def test_low_pressure_stays_nested(self):
+        policy = ShortLivedPolicy(grace_cycles=100, miss_rate_threshold=5.0)
+        manager = FakeManager()
+        manager.fully_nested = True
+        policy.tick(manager, now=0, miss_rate_per_kop=0.1)
+        policy.tick(manager, now=200, miss_rate_per_kop=0.1)
+        assert not manager.shadow_enabled
+        assert policy.decided
+
+    def test_decides_only_once(self):
+        policy = ShortLivedPolicy(grace_cycles=100, miss_rate_threshold=5.0)
+        manager = FakeManager()
+        manager.fully_nested = True
+        policy.tick(manager, now=0, miss_rate_per_kop=0.0)
+        policy.tick(manager, now=200, miss_rate_per_kop=0.0)
+        manager.fully_nested = True
+        assert not policy.tick(manager, now=400, miss_rate_per_kop=99.0)
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_reversion_policy("dirty", 10), DirtyBitReversionPolicy)
+        assert isinstance(make_reversion_policy("simple", 10), SimpleReversionPolicy)
+        assert isinstance(make_reversion_policy("none", 10), NoReversionPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_reversion_policy("bogus", 10)
+
+    def test_process_policy_bundle(self):
+        bundle = ProcessPolicy(PolicyConfig())
+        manager = FakeManager()
+        bundle.note_write(manager, 7, now=0)
+        bundle.note_write(manager, 7, now=1)
+        assert bundle.switches_to_nested == 1

@@ -1,0 +1,113 @@
+"""Tests for the SHSP baseline (Section VII-C / related work)."""
+
+import pytest
+
+from repro.common.config import sandy_bridge_config
+from repro.core.machine import System
+from repro.core.simulator import MachineAPI, run_workload
+from repro.vmm import traps as T
+from repro.vmm.shsp import (
+    SHSPController,
+    TECH_NESTED,
+    TECH_SHADOW,
+    rebuild_cost_cycles,
+)
+from repro.workloads.suite import CannealLike, DedupLike
+
+
+class TestController:
+    def test_starts_in_shadow(self):
+        assert SHSPController().technique == TECH_SHADOW
+
+    def test_update_storm_switches_to_nested(self):
+        controller = SHSPController(interval=100)
+        for _i in range(50):
+            controller.note_pt_write()
+        controller.note_miss()
+        assert controller.decide(now=200, resident_pages=100) == TECH_NESTED
+        assert controller.switches == 1
+
+    def test_miss_storm_switches_back_after_two_quiet_windows(self):
+        controller = SHSPController(interval=100)
+        for _i in range(50):
+            controller.note_pt_write()
+        controller.decide(now=200, resident_pages=100)  # -> nested
+        for _i in range(10_000):
+            controller.note_miss()
+        # First quiet window: hysteresis holds nested.
+        assert controller.decide(now=400, resident_pages=100) == TECH_NESTED
+        for _i in range(10_000):
+            controller.note_miss()
+        assert controller.decide(now=600, resident_pages=100) == TECH_SHADOW
+
+    def test_noisy_windows_reset_hysteresis(self):
+        controller = SHSPController(interval=100, quiet_threshold=2)
+        for _i in range(50):
+            controller.note_pt_write()
+        controller.decide(now=200, resident_pages=100)  # -> nested
+        for _i in range(10_000):
+            controller.note_miss()
+        controller.decide(now=400, resident_pages=100)  # quiet #1
+        for _i in range(50):
+            controller.note_pt_write()  # noise again
+        controller.decide(now=600, resident_pages=100)
+        for _i in range(10_000):
+            controller.note_miss()
+        # Quiet streak restarted: still nested after one quiet window.
+        assert controller.decide(now=800, resident_pages=100) == TECH_NESTED
+
+    def test_no_decision_within_interval(self):
+        controller = SHSPController(interval=1000)
+        for _i in range(100):
+            controller.note_pt_write()
+        assert controller.decide(now=500, resident_pages=1) == TECH_SHADOW
+
+    def test_rebuild_cost_scales_with_footprint(self):
+        assert rebuild_cost_cycles(1000) == 10 * rebuild_cost_cycles(100)
+
+
+class TestSHSPMode:
+    def test_runs_end_to_end(self):
+        metrics = run_workload(DedupLike(ops=20_000),
+                               sandy_bridge_config(mode="shsp"))
+        assert metrics.ops >= 20_000
+        assert metrics.mode == "shsp"
+
+    def test_quiet_workload_stays_shadow(self):
+        system = System(sandy_bridge_config(mode="shsp"))
+        from repro.core.simulator import Simulator
+
+        Simulator(system).run(CannealLike(ops=20_000))
+        techniques = {s.shsp.technique for s in system.vmm.states.values()
+                      if s.shsp is not None}
+        assert TECH_SHADOW in techniques
+
+    def test_update_heavy_workload_pays_rebuilds_or_traps(self):
+        metrics = run_workload(DedupLike(ops=60_000),
+                               sandy_bridge_config(mode="shsp"))
+        paid = (metrics.trap_counts.get(T.SHSP_REBUILD, 0)
+                + metrics.trap_counts.get(T.PT_WRITE, 0))
+        assert paid > 0
+
+    def test_context_switch_free_in_nested_phase(self):
+        system = System(sandy_bridge_config(mode="shsp"))
+        api = MachineAPI(system)
+        first = api.spawn()
+        second = api.spawn()
+        state = system.vmm.states[first.pid]
+        state.shsp.technique = TECH_NESTED
+        state.manager.fully_nested = True
+        before = system.vmm.traps.count(T.CONTEXT_SWITCH)
+        api.switch_to(first)
+        assert system.vmm.traps.count(T.CONTEXT_SWITCH) == before
+
+    def test_agile_beats_shsp_on_mixed_workload(self):
+        """Section VII-C: agile exceeds SHSP, which is limited by the
+        full cost of whichever single technique it picks."""
+        shsp = run_workload(DedupLike(ops=60_000),
+                            sandy_bridge_config(mode="shsp"))
+        agile = run_workload(DedupLike(ops=60_000),
+                             sandy_bridge_config(mode="agile"))
+        shsp_total = shsp.page_walk_overhead + shsp.vmm_overhead
+        agile_total = agile.page_walk_overhead + agile.vmm_overhead
+        assert agile_total <= shsp_total * 1.05

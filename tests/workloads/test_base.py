@@ -1,0 +1,71 @@
+"""Unit tests for the Workload base class helpers."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import sandy_bridge_config
+from repro.common.params import TWO_MB
+from repro.core.machine import System
+from repro.core.simulator import MachineAPI
+from repro.workloads.base import Workload
+
+
+class Probe(Workload):
+    name = "probe"
+
+    def execute(self, api):
+        pass
+
+
+@pytest.fixture
+def api():
+    system = System(sandy_bridge_config(mode="native"))
+    machine = MachineAPI(system)
+    machine.spawn(code_pages=0)
+    return machine
+
+
+class TestHelpers:
+    def test_pages_for_rounds_up_to_one(self):
+        workload = Probe()
+        assert workload.pages_for(1) == 1
+        assert workload.pages_for(8192) == 2
+
+    def test_granule_follows_page_size(self):
+        assert Probe().granule == 4096
+        assert Probe(page_size=TWO_MB).granule == 2 << 20
+
+    def test_reset_restores_rng(self):
+        workload = Probe(seed=7)
+        first = workload.rng.integers(0, 1000, 10).tolist()
+        workload.reset()
+        second = workload.rng.integers(0, 1000, 10).tolist()
+        assert first == second
+
+    def test_region_access_reads(self, api):
+        workload = Probe()
+        base = api.mmap(4 << 12)
+        for i in range(4):
+            api.write(base + i * 4096)
+        ops_before = api.system.ops
+        workload.region_access(api, base, np.array([0, 1, 2, 3]))
+        assert api.system.ops == ops_before + 4
+        assert api.system.writes == 4  # only the setup writes
+
+    def test_region_access_write_mask(self, api):
+        workload = Probe()
+        base = api.mmap(4 << 12)
+        workload.region_access(api, base, np.array([0, 1, 2, 3]),
+                               write_mask=np.array([True, False, True, False]))
+        assert api.system.writes == 2
+        assert api.system.reads == 2
+
+    def test_warm_region_touches_every_page(self, api):
+        workload = Probe()
+        base = api.mmap(16 << 12)
+        workload.warm_region(api, base, 16)
+        proc = api.current
+        assert proc.resident_pages == 16
+
+    def test_repr(self):
+        assert "Probe(ops=" in repr(Probe(ops=5, seed=3))

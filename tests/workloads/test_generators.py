@@ -1,0 +1,123 @@
+"""Unit tests for the address-stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import (
+    MixtureSampler,
+    PointerChase,
+    SequentialScanner,
+    UniformSampler,
+    ZipfSampler,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestUniform:
+    def test_in_range(self, rng):
+        sampler = UniformSampler(100, rng)
+        samples = sampler.sample(1000)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_covers_space(self, rng):
+        sampler = UniformSampler(10, rng)
+        assert len(set(sampler.sample(1000).tolist())) == 10
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            UniformSampler(0, rng)
+
+
+class TestZipf:
+    def test_in_range(self, rng):
+        sampler = ZipfSampler(100, rng, alpha=1.0)
+        samples = sampler.sample(1000)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_skew(self, rng):
+        sampler = ZipfSampler(1000, rng, alpha=1.0)
+        samples = sampler.sample(20_000)
+        _values, counts = np.unique(samples, return_counts=True)
+        top = np.sort(counts)[::-1]
+        # The most popular page should dwarf the median one.
+        assert top[0] > 10 * np.median(counts)
+
+    def test_hot_pages_scattered(self, rng):
+        """The hottest page need not be page 0 (mapping is shuffled)."""
+        samplers = [ZipfSampler(1000, np.random.default_rng(s)) for s in range(5)]
+        hottest = set()
+        for sampler in samplers:
+            samples = sampler.sample(5000)
+            values, counts = np.unique(samples, return_counts=True)
+            hottest.add(int(values[np.argmax(counts)]))
+        assert len(hottest) > 1
+
+    def test_rejects_bad_alpha(self, rng):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, rng, alpha=0)
+
+
+class TestSequential:
+    def test_visits_in_order(self):
+        scanner = SequentialScanner(10)
+        assert scanner.sample(5).tolist() == [0, 1, 2, 3, 4]
+        assert scanner.sample(5).tolist() == [5, 6, 7, 8, 9]
+
+    def test_wraps(self):
+        scanner = SequentialScanner(4)
+        assert scanner.sample(6).tolist() == [0, 1, 2, 3, 0, 1]
+
+    def test_stride(self):
+        scanner = SequentialScanner(10, stride=3)
+        assert scanner.sample(4).tolist() == [0, 3, 6, 9]
+
+    def test_start_offset(self):
+        scanner = SequentialScanner(10, start=7)
+        assert scanner.sample(4).tolist() == [7, 8, 9, 0]
+
+
+class TestPointerChase:
+    def test_is_a_permutation_cycle(self, rng):
+        chase = PointerChase(50, rng)
+        samples = chase.sample(50)
+        assert sorted(samples.tolist()) == list(range(50))
+
+    def test_continues_across_calls(self, rng):
+        chase = PointerChase(50, rng)
+        first = chase.sample(25).tolist()
+        second = chase.sample(25).tolist()
+        assert sorted(first + second) == list(range(50))
+
+    def test_deterministic_per_seed(self):
+        a = PointerChase(50, np.random.default_rng(1)).sample(20).tolist()
+        b = PointerChase(50, np.random.default_rng(1)).sample(20).tolist()
+        assert a == b
+
+
+class TestMixture:
+    def test_respects_ranges(self, rng):
+        mixture = MixtureSampler(
+            [UniformSampler(10, rng), UniformSampler(1000, rng)],
+            weights=[0.5, 0.5],
+            rng=rng,
+        )
+        samples = mixture.sample(2000)
+        assert samples.max() < 1000
+
+    def test_weights_bias_choice(self, rng):
+        hot = UniformSampler(10, rng)
+        cold = UniformSampler(1000, rng)
+        mixture = MixtureSampler([hot, cold], weights=[0.95, 0.05], rng=rng)
+        samples = mixture.sample(10_000)
+        hot_fraction = np.mean(samples < 10)
+        assert hot_fraction > 0.9
+
+    def test_rejects_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            MixtureSampler([UniformSampler(10, rng)], weights=[0.5, 0.5], rng=rng)

@@ -1,0 +1,83 @@
+"""Tests for the Table V workload suite."""
+
+import pytest
+
+from repro.common.config import sandy_bridge_config
+from repro.common.params import TWO_MB
+from repro.core.simulator import run_workload
+from repro.workloads.suite import PAPER_FOOTPRINTS, SUITE, make_suite
+
+OPS = 6_000  # small but enough to exercise every phase
+
+
+class TestSuiteConstruction:
+    def test_eight_workloads(self):
+        assert len(SUITE) == 8
+        names = {cls.name for cls in SUITE}
+        assert names == {
+            "memcached", "canneal", "astar", "gcc",
+            "graph500", "mcf", "tigr", "dedup",
+        }
+
+    def test_paper_footprints_complete(self):
+        assert set(PAPER_FOOTPRINTS) == {cls.name for cls in SUITE}
+
+    def test_make_suite_subset(self):
+        subset = make_suite(ops=10, names={"mcf", "tigr"})
+        assert {w.name for w in subset} == {"mcf", "tigr"}
+
+    def test_make_suite_page_size(self):
+        [workload] = make_suite(ops=10, page_size=TWO_MB, names={"astar"})
+        assert workload.page_size is TWO_MB
+
+
+@pytest.mark.parametrize("cls", SUITE, ids=lambda c: c.name)
+class TestEachWorkload:
+    def test_runs_under_agile(self, cls):
+        metrics = run_workload(cls(ops=OPS), sandy_bridge_config(mode="agile"))
+        assert metrics.ops >= OPS
+        assert metrics.label == cls.name
+
+    def test_deterministic_op_stream(self, cls):
+        first = run_workload(cls(ops=OPS), sandy_bridge_config(mode="native"))
+        second = run_workload(cls(ops=OPS), sandy_bridge_config(mode="native"))
+        assert first.ops == second.ops
+        assert first.tlb_misses == second.tlb_misses
+        assert first.total_cycles == second.total_cycles
+
+    def test_same_ops_across_modes(self, cls):
+        native = run_workload(cls(ops=OPS), sandy_bridge_config(mode="native"))
+        shadow = run_workload(cls(ops=OPS), sandy_bridge_config(mode="shadow"))
+        assert native.ops == shadow.ops
+
+
+class TestWorkloadCharacter:
+    """The qualitative profile each workload must have (Section VI)."""
+
+    def test_mcf_is_tlb_hostile(self):
+        mcf = run_workload(make_suite(ops=20_000, names={"mcf"})[0],
+                           sandy_bridge_config(mode="native"))
+        gcc = run_workload(make_suite(ops=20_000, names={"gcc"})[0],
+                           sandy_bridge_config(mode="native"))
+        assert mcf.miss_rate_per_kop > 1.5 * gcc.miss_rate_per_kop
+
+    def test_dedup_is_trap_heavy_under_shadow(self):
+        dedup = run_workload(make_suite(ops=40_000, names={"dedup"})[0],
+                             sandy_bridge_config(mode="shadow"))
+        canneal = run_workload(make_suite(ops=40_000, names={"canneal"})[0],
+                               sandy_bridge_config(mode="shadow"))
+        assert dedup.vmtraps > 5 * max(1, canneal.vmtraps)
+
+    def test_canneal_has_static_page_tables(self):
+        canneal = run_workload(make_suite(ops=20_000, names={"canneal"})[0],
+                               sandy_bridge_config(mode="shadow"))
+        assert canneal.trap_counts.get("pt_write", 0) == 0
+
+    def test_2m_pages_reduce_misses(self):
+        four_k = run_workload(make_suite(ops=20_000, names={"graph500"})[0],
+                              sandy_bridge_config(mode="native"))
+        two_m = run_workload(
+            make_suite(ops=20_000, page_size=TWO_MB, names={"graph500"})[0],
+            sandy_bridge_config(mode="native", page_size=TWO_MB),
+        )
+        assert two_m.tlb_misses < four_k.tlb_misses / 10

@@ -1,0 +1,69 @@
+"""Tests for trace recording and replay."""
+
+import pytest
+
+from repro.common.config import sandy_bridge_config
+from repro.core.machine import System
+from repro.core.simulator import MachineAPI
+from repro.workloads.suite import make_suite
+from repro.workloads.trace import TraceRecorder, record, replay
+
+
+def fresh_api(mode="native"):
+    return MachineAPI(System(sandy_bridge_config(mode=mode)))
+
+
+class TestRecorder:
+    def test_records_accesses(self):
+        api = fresh_api()
+        recorder = TraceRecorder(api)
+        recorder.spawn()
+        base = recorder.mmap(4 << 12)
+        recorder.write(base)
+        recorder.read(base)
+        kinds = [r[0] for r in recorder.records]
+        assert kinds == ["P", "M", "A", "A"]
+
+    def test_records_mmap_result(self):
+        api = fresh_api()
+        recorder = TraceRecorder(api)
+        recorder.spawn()
+        va = recorder.mmap(4 << 12)
+        record_entry = recorder.records[-1]
+        assert record_entry[0] == "M"
+        assert record_entry[-1] == va
+
+
+class TestReplay:
+    def test_replay_reproduces_counts(self):
+        workload = make_suite(ops=3_000, names={"gcc"})[0]
+        source = System(sandy_bridge_config(mode="native"))
+        records = record(workload, MachineAPI(source))
+
+        target = System(sandy_bridge_config(mode="native"))
+        replay(records, MachineAPI(target))
+        assert target.ops == source.ops
+        assert target.mmu.counters.tlb_misses == source.mmu.counters.tlb_misses
+
+    def test_replay_across_modes(self):
+        """The same trace runs under any paging mode (the paper's
+        cross-mode comparison guarantee)."""
+        workload = make_suite(ops=2_000, names={"dedup"})[0]
+        source = System(sandy_bridge_config(mode="native"))
+        records = record(workload, MachineAPI(source))
+        for mode in ("nested", "shadow", "agile"):
+            target = System(sandy_bridge_config(mode=mode))
+            replay(records, MachineAPI(target))
+            assert target.ops == source.ops
+
+    def test_replay_detects_divergence(self):
+        api = fresh_api()
+        recorder = TraceRecorder(api)
+        recorder.spawn()
+        recorder.mmap(4 << 12)
+        records = list(recorder.records)
+        # Corrupt the recorded mmap address.
+        kind, size, writable, region_kind, populate, va = records[1]
+        records[1] = (kind, size, writable, region_kind, populate, va + 0x1000)
+        with pytest.raises(Exception):
+            replay(records, fresh_api())
