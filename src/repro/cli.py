@@ -9,6 +9,7 @@ Commands::
     table6     Table VI (agile miss mix, no PWCs)
     tables     Tables I / II / III (architecture-level reproductions)
     sweep      sweep one policy knob and report the effect
+    lint       run the project's static sanitizer over source trees
 
 Every command prints paper-style tables to stdout and exits non-zero on
 bad arguments, so the tool scripts cleanly.
@@ -39,6 +40,8 @@ def _build_config(args):
         overrides["hw_ad_assist"] = False
     if getattr(args, "no_cr3_cache", False):
         overrides["hw_cr3_cache"] = False
+    if getattr(args, "paranoid", False):
+        overrides["paranoid"] = True
     return sandy_bridge_config(mode=args.mode, page_size=page_size, **overrides)
 
 
@@ -186,6 +189,14 @@ def cmd_sweep(args, out):
     return 0
 
 
+def cmd_lint(args, out):
+    from repro.lint.runner import list_rules, run_lint
+
+    if args.list_rules:
+        return list_rules(out)
+    return run_lint(args.paths or None, fmt=args.format, out=out)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -206,6 +217,9 @@ def build_parser():
                        help="disable page-walk caches")
         p.add_argument("--no-ad-assist", action="store_true")
         p.add_argument("--no-cr3-cache", action="store_true")
+        p.add_argument("--paranoid", action="store_true",
+                       help="validate shadow/guest/TLB coherence invariants "
+                            "after every VMtrap and mode switch")
 
     run_parser = sub.add_parser("run", help="run one workload/configuration")
     add_common(run_parser)
@@ -237,6 +251,16 @@ def build_parser():
                               choices=("write_threshold", "write_interval",
                                        "revert_interval"))
     sweep_parser.add_argument("--values", default="1,2,4,8")
+
+    lint_parser = sub.add_parser(
+        "lint", help="run the project's static sanitizer")
+    lint_parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the repro package)")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the rule catalogue and exit")
     return parser
 
 
@@ -248,6 +272,7 @@ COMMANDS = {
     "table6": cmd_table6,
     "tables": cmd_tables,
     "sweep": cmd_sweep,
+    "lint": cmd_lint,
 }
 
 

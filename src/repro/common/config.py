@@ -167,6 +167,10 @@ class MachineConfig:
     # in which case `cycles_per_walk_ref` stands for the *average* cost
     # including data-cache effects (the default calibration).
     pte_cache_lines: int = 0
+    # Paranoid mode (repro.vmm.invariants): re-validate shadow/guest/TLB
+    # coherence after every VMtrap and mode switch. Costs simulation
+    # wall-clock time but never simulated cycles.
+    paranoid: bool = False
     # Physical memory sizes, in frames (4 KB each).
     guest_mem_frames: int = 1 << 16  # 256 MB of guest-physical space
     host_mem_frames: int = 1 << 17  # 512 MB of host-physical space

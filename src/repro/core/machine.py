@@ -238,10 +238,24 @@ class System(GuestPlatform):
             self.vmm.traps.reset()
         self._measurement_start = self.clock.now
 
+    # -- invariant checking (paranoid mode) -------------------------------------------
+
+    def check_invariants(self):
+        """Run a full paranoid sweep now; no-op unless paranoid mode is on.
+
+        Raises :class:`repro.vmm.invariants.InvariantViolation` on any
+        shadow/guest/TLB incoherence.
+        """
+        if self.vmm is not None and self.vmm.invariants is not None:
+            self.vmm.invariants.check_all()
+
     # -- metrics -----------------------------------------------------------------------
 
     def collect_metrics(self, label="run"):
         """Snapshot all counters into a :class:`RunMetrics`."""
+        # Final paranoid sweep: a run's numbers are only worth reporting
+        # if the machine state they came from is still coherent.
+        self.check_invariants()
         metrics = RunMetrics(label, self.config.mode, self.config.page_size)
         metrics.ops = self.ops
         metrics.reads = self.reads

@@ -123,3 +123,20 @@ class TLB:
     def occupancy(self):
         """Number of valid entries currently cached."""
         return sum(len(entries) for entries in self._sets)
+
+    # -- non-perturbing introspection (paranoid-mode invariant checks) ------
+
+    def peek(self, asid, va):
+        """Like :meth:`lookup`, but touches neither stats nor LRU order.
+
+        Invariant checking must observe the TLB without perturbing
+        replacement decisions, or paranoid mode would change the very
+        results it validates.
+        """
+        vpn = va >> self.page_shift
+        return self._set_for(vpn).get((asid, vpn))
+
+    def iter_entries(self):
+        """Iterate every valid entry (no stats/LRU side effects)."""
+        for entries in self._sets:
+            yield from entries.values()

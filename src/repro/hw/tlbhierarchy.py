@@ -83,6 +83,19 @@ class TLBHierarchy:
         for tlb in self._all():
             tlb.flush()
 
+    def iter_entries(self):
+        """Every cached entry across L1D/L1I/L2, without side effects."""
+        for tlb in self._all():
+            yield from tlb.iter_entries()
+
+    def peek(self, asid, va):
+        """First matching entry for ``va`` with no stats/LRU effects."""
+        for tlb in self._all():
+            entry = tlb.peek(asid, va)
+            if entry is not None:
+                return entry
+        return None
+
     @property
     def hits(self):
         return sum(t.stats.hits for t in self._all())
@@ -150,6 +163,20 @@ class MultiSizeTLB:
     def flush(self):
         for hierarchy in self.hierarchies.values():
             hierarchy.flush()
+
+    def iter_entries(self):
+        """Every cached entry in every granule array (no side effects)."""
+        for hierarchy in self.hierarchies.values():
+            yield from hierarchy.iter_entries()
+
+    def peek_entries(self, asid, va):
+        """All entries translating ``va`` across granules, side-effect free."""
+        found = []
+        for hierarchy in self.hierarchies.values():
+            entry = hierarchy.peek(asid, va)
+            if entry is not None:
+                found.append(entry)
+        return found
 
     @property
     def misses(self):

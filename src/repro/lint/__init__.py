@@ -1,0 +1,31 @@
+"""Project-specific static analysis for the simulator ("the sanitizer").
+
+A small AST-walking lint engine plus rules that encode correctness
+contracts the test suite cannot easily express file-by-file:
+
+* determinism — no unseeded randomness or wall-clock reads in simulator
+  code (the cross-mode comparisons and the two-step methodology rely on
+  identical operation streams),
+* accounting completeness — every VMtrap kind is charged against the
+  cost model and aggregated by the metrics layer,
+* policy/hook contracts — policy classes implement the hooks the VMM
+  drives,
+* general hygiene — no mutable default arguments, no bare ``except:``.
+
+Run it as ``python -m repro lint [paths]`` (or via the ``repro`` console
+script); the pytest suite runs it over ``src/`` so tier-1 enforces a
+clean tree. See ``docs/static_analysis.md``.
+"""
+
+from repro.lint.engine import Finding, LintEngine, ProjectRule, Rule
+from repro.lint.rules import DEFAULT_RULES
+from repro.lint.runner import run_lint
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "ProjectRule",
+    "DEFAULT_RULES",
+    "run_lint",
+]

@@ -1,0 +1,187 @@
+"""The AST lint engine: file discovery, parsing, rule dispatch.
+
+Two rule shapes exist. A plain :class:`Rule` inspects one parsed file at
+a time; a :class:`ProjectRule` runs once over the *whole* file set, which
+is what cross-module contracts (trap kinds vs. cost model vs. metrics)
+need. Both yield :class:`Finding` objects the runner renders as text or
+JSON.
+
+Suppression: a line carrying ``# lint: disable=<rule-name>`` (or
+``disable=all``) silences findings reported on that line. Use sparingly;
+every suppression is a claim that the contract holds anyway.
+"""
+
+import ast
+import os
+import re
+
+SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\-]+)")
+
+SKIP_DIR_SUFFIXES = ("__pycache__", ".egg-info")
+
+
+class Finding:
+    """One rule violation at one source location."""
+
+    __slots__ = ("rule_id", "rule_name", "path", "line", "col", "message")
+
+    def __init__(self, rule_id, rule_name, path, line, col, message):
+        self.rule_id = rule_id
+        self.rule_name = rule_name
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+
+    def as_dict(self):
+        return {
+            "rule_id": self.rule_id,
+            "rule": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def format(self):
+        return "%s:%d:%d: %s [%s] %s" % (
+            self.path, self.line, self.col, self.rule_id, self.rule_name,
+            self.message,
+        )
+
+    def __repr__(self):
+        return "Finding(%s)" % self.format()
+
+
+class SourceFile:
+    """One parsed Python source file."""
+
+    __slots__ = ("path", "source", "tree", "lines")
+
+    def __init__(self, path, source, tree):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+
+    def line_text(self, lineno):
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    @property
+    def posix_path(self):
+        return self.path.replace(os.sep, "/")
+
+    def endswith(self, suffix):
+        """Does this file's path end with ``suffix`` (posix-style)?"""
+        return self.posix_path.endswith(suffix)
+
+
+class Rule:
+    """A per-file rule. Subclasses implement :meth:`check_file`."""
+
+    rule_id = "REPRO000"
+    name = "rule"
+    description = ""
+
+    def check_file(self, source_file):
+        """Yield/return findings for one file."""
+        return ()
+
+    def finding(self, source_file, node, message):
+        """A :class:`Finding` anchored at ``node`` (or at line 1)."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(self.rule_id, self.name, source_file.path, line, col,
+                       message)
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole file set (cross-module contracts)."""
+
+    def check_project(self, source_files):
+        """Yield/return findings over all files."""
+        return ()
+
+
+class ParseErrorRule(Rule):
+    """Pseudo-rule under which syntax errors are reported."""
+
+    rule_id = "REPRO001"
+    name = "parse-error"
+    description = "the file does not parse as Python"
+
+
+def _iter_python_files(paths):
+    """Every .py file under ``paths`` (files or directories), sorted."""
+    seen = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if not d.startswith(".")
+                    and not any(d.endswith(s) for s in SKIP_DIR_SUFFIXES)
+                )
+                for filename in sorted(filenames):
+                    if not filename.endswith(".py"):
+                        continue
+                    full = os.path.join(dirpath, filename)
+                    if full not in seen:
+                        seen.add(full)
+        else:
+            raise FileNotFoundError("no such file or directory: %r" % (path,))
+    return sorted(seen)
+
+
+def _suppressed(source_file, finding):
+    """Is this finding silenced by a ``# lint: disable=`` marker?"""
+    match = SUPPRESS_RE.search(source_file.line_text(finding.line))
+    if match is None:
+        return False
+    names = {name.strip() for name in match.group(1).split(",")}
+    return "all" in names or finding.rule_name in names or finding.rule_id in names
+
+
+class LintEngine:
+    """Parses files once and dispatches every configured rule."""
+
+    def __init__(self, rules):
+        self.rules = list(rules)
+        self._parse_rule = ParseErrorRule()
+
+    def run(self, paths):
+        """Lint ``paths``; returns (findings, number_of_files_checked)."""
+        findings = []
+        source_files = []
+        checked = 0
+        for path in _iter_python_files(paths):
+            checked += 1
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as error:
+                findings.append(Finding(
+                    self._parse_rule.rule_id, self._parse_rule.name, path,
+                    error.lineno or 1, (error.offset or 1) - 1,
+                    "syntax error: %s" % (error.msg,),
+                ))
+                continue
+            source_files.append(SourceFile(path, source, tree))
+        by_path = {f.path: f for f in source_files}
+        for rule in self.rules:
+            for source_file in source_files:
+                findings.extend(rule.check_file(source_file))
+            if isinstance(rule, ProjectRule):
+                findings.extend(rule.check_project(source_files))
+        findings = [
+            f for f in findings
+            if f.path not in by_path or not _suppressed(by_path[f.path], f)
+        ]
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings, checked

@@ -1,0 +1,364 @@
+"""The project-specific lint rules.
+
+Numbering: REPRO001 is reserved for parse errors (see engine.py);
+REPRO1xx are per-file hygiene/determinism rules; REPRO2xx are
+cross-module accounting contracts.
+"""
+
+import ast
+
+from repro.lint.engine import ProjectRule, Rule
+
+# Wall-clock reads that would leak host time into simulated results. The
+# simulator has its own Clock; cycle counts must never depend on them.
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+# numpy.random callables that are legitimately *seedable*: calling them
+# with an explicit seed/argument is fine, calling them bare is not.
+NUMPY_SEEDABLE = {"default_rng", "Generator", "RandomState", "SeedSequence"}
+
+MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
+MUTABLE_BUILTINS = {"list", "dict", "set", "bytearray"}
+
+
+def _import_aliases(tree):
+    """Map every imported binding to its fully qualified dotted name."""
+    aliases = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                aliases[bound] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports stay project-internal
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                aliases[bound] = "%s.%s" % (node.module, alias.name)
+    return aliases
+
+
+def _dotted_name(node):
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _resolve(node, aliases):
+    """The fully qualified dotted name of a callee, tracking imports."""
+    dotted = _dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    expanded = aliases.get(head, head)
+    return "%s.%s" % (expanded, rest) if rest else expanded
+
+
+class UnseededRandomRule(Rule):
+    """Determinism: no global/unseeded RNG state, no wall-clock reads.
+
+    All randomness must flow through an explicitly seeded generator
+    (``np.random.default_rng(seed)`` / ``random.Random(seed)``) that the
+    caller owns, and all time must come from the simulated Clock.
+    """
+
+    rule_id = "REPRO101"
+    name = "unseeded-random"
+    description = ("simulator code must use explicitly seeded RNGs and the "
+                   "simulated clock, never global random state or wall time")
+
+    def check_file(self, source_file):
+        aliases = _import_aliases(source_file.tree)
+        for node in ast.walk(source_file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = _resolve(node.func, aliases)
+            if full is None:
+                continue
+            has_args = bool(node.args or node.keywords)
+            if full in WALL_CLOCK_CALLS:
+                yield self.finding(source_file, node,
+                                   "wall-clock read `%s()` in simulator code; "
+                                   "use the simulated Clock" % full)
+            elif full == "random.Random":
+                if not has_args:
+                    yield self.finding(source_file, node,
+                                       "`random.Random()` without a seed; pass "
+                                       "an explicit seed")
+            elif full.startswith("random."):
+                yield self.finding(source_file, node,
+                                   "`%s()` uses the global (unseeded) random "
+                                   "state; use a seeded `random.Random` "
+                                   "instance" % full)
+            elif full.startswith("numpy.random."):
+                tail = full.rsplit(".", 1)[1]
+                if tail in NUMPY_SEEDABLE:
+                    if not has_args:
+                        yield self.finding(source_file, node,
+                                           "`%s()` without a seed; pass an "
+                                           "explicit seed" % full)
+                else:
+                    yield self.finding(source_file, node,
+                                       "`%s()` uses numpy's global random "
+                                       "state; use a seeded Generator from "
+                                       "`default_rng(seed)`" % full)
+
+
+class MutableDefaultRule(Rule):
+    """No mutable default arguments (shared across calls and runs)."""
+
+    rule_id = "REPRO102"
+    name = "mutable-default"
+    description = "default argument values must not be mutable objects"
+
+    def check_file(self, source_file):
+        for node in ast.walk(source_file.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults if d is not None)
+            for default in defaults:
+                if isinstance(default, MUTABLE_LITERALS):
+                    yield self.finding(source_file, default,
+                                       "mutable default argument (literal); "
+                                       "use None and create it in the body")
+                elif (isinstance(default, ast.Call)
+                      and isinstance(default.func, ast.Name)
+                      and default.func.id in MUTABLE_BUILTINS):
+                    yield self.finding(source_file, default,
+                                       "mutable default argument (`%s()`); "
+                                       "use None and create it in the body"
+                                       % default.func.id)
+
+
+class BareExceptRule(Rule):
+    """No bare ``except:`` — it swallows simulator bugs silently.
+
+    Faults in this codebase are a typed taxonomy (``common/errors.py``);
+    a handler must name what it expects so :class:`SimulationError` and
+    ``InvariantViolation`` always propagate.
+    """
+
+    rule_id = "REPRO103"
+    name = "bare-except"
+    description = "exception handlers must name the exception types they handle"
+
+    def check_file(self, source_file):
+        for node in ast.walk(source_file.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(source_file, node,
+                                   "bare `except:` hides simulator bugs; "
+                                   "catch explicit exception types")
+
+
+class PolicyHooksRule(Rule):
+    """Policy classes must implement the hooks the VMM drives.
+
+    The VMM calls reversion policies as ``tick(manager, hostpt, now)``
+    and write-trigger policies as ``note_write(manager, node_gfn, now)``
+    (Section III-C). A policy class missing — or mis-declaring — its hook
+    fails at runtime only on the code path that fires it, which a short
+    test run may never reach.
+    """
+
+    rule_id = "REPRO104"
+    name = "policy-hooks"
+    description = ("*ReversionPolicy classes must define tick(self, manager, "
+                   "hostpt, now); *TriggerPolicy classes must define "
+                   "note_write(self, manager, node_gfn, now)")
+
+    REQUIRED = (
+        ("ReversionPolicy", "tick", ("self", "manager", "hostpt", "now")),
+        ("TriggerPolicy", "note_write", ("self", "manager", "node_gfn", "now")),
+    )
+
+    def check_file(self, source_file):
+        for node in ast.walk(source_file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for suffix, hook, signature in self.REQUIRED:
+                if not node.name.endswith(suffix):
+                    continue
+                method = next(
+                    (item for item in node.body
+                     if isinstance(item, ast.FunctionDef) and item.name == hook),
+                    None,
+                )
+                if method is None:
+                    yield self.finding(source_file, node,
+                                       "policy class `%s` must define the "
+                                       "`%s` hook" % (node.name, hook))
+                    continue
+                args = [arg.arg for arg in method.args.args]
+                if len(args) != len(signature):
+                    yield self.finding(
+                        source_file, method,
+                        "`%s.%s` must accept exactly %d arguments %r, got %r"
+                        % (node.name, hook, len(signature), signature,
+                           tuple(args)))
+
+
+class TrapAccountingRule(ProjectRule):
+    """Cross-module contract: the VMtrap taxonomy is fully accounted.
+
+    Reading ``vmm/traps.py`` and ``common/config.py`` from the linted
+    file set, enforce:
+
+    * every trap-kind constant defined *above* ``ALL_TRAP_KINDS`` is a
+      member of that tuple (membership is what registers the kind with
+      ``TrapStats``/``RunMetrics.vmtraps`` — a kind defined but left out
+      would silently vanish from the Figure 5 VMM bars),
+    * every member of ``ALL_TRAP_KINDS`` is charged somewhere: it appears
+      as the kind argument of a ``_trap(...)`` or ``.record(...)`` call,
+    * every kind constant in ``traps.py`` (traps *and* hardware-assist
+      kinds) is referenced outside ``traps.py`` — no dead taxonomy,
+    * every ``vmtrap_*`` field of ``CostConfig`` is referenced somewhere
+      — no unpriced or dead cost knobs.
+    """
+
+    rule_id = "REPRO201"
+    name = "trap-accounting"
+    description = ("every VMtrap kind must be in ALL_TRAP_KINDS, charged via "
+                   "_trap/record, and every vmtrap_* cost field must be used")
+
+    TRAPS_PATH = "vmm/traps.py"
+    CONFIG_PATH = "common/config.py"
+
+    def _module_constants(self, tree):
+        """(ordered [(name, lineno)], ALL_TRAP_KINDS members, tuple lineno)."""
+        constants = []
+        members = None
+        tuple_line = None
+        for node in tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if (target.id == "ALL_TRAP_KINDS"
+                    and isinstance(node.value, (ast.Tuple, ast.List))):
+                members = [elt.id for elt in node.value.elts
+                           if isinstance(elt, ast.Name)]
+                tuple_line = node.lineno
+            elif (target.id.isupper()
+                  and isinstance(node.value, ast.Constant)
+                  and isinstance(node.value.value, str)):
+                constants.append((target.id, node.lineno))
+        return constants, members, tuple_line
+
+    def _cost_fields(self, tree):
+        """[(field, lineno)] of vmtrap_* fields on CostConfig."""
+        fields = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node.name != "CostConfig":
+                continue
+            for item in node.body:
+                if (isinstance(item, ast.AnnAssign)
+                        and isinstance(item.target, ast.Name)
+                        and item.target.id.startswith("vmtrap_")):
+                    fields.append((item.target.id, item.lineno))
+        return fields
+
+    @staticmethod
+    def _tail_name(node):
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def check_project(self, source_files):
+        traps_file = next((f for f in source_files
+                           if f.endswith(self.TRAPS_PATH)), None)
+        if traps_file is None:
+            return
+        constants, members, tuple_line = self._module_constants(traps_file.tree)
+        if members is None:
+            yield self.finding(traps_file, traps_file.tree,
+                               "traps module defines no ALL_TRAP_KINDS tuple")
+            return
+        config_file = next((f for f in source_files
+                            if f.endswith(self.CONFIG_PATH)), None)
+
+        charged = set()
+        referenced = set()
+        attr_refs = set()
+        for source_file in source_files:
+            in_traps = source_file is traps_file
+            for node in ast.walk(source_file.tree):
+                if isinstance(node, ast.Attribute):
+                    attr_refs.add(node.attr)
+                    if not in_traps:
+                        referenced.add(node.attr)
+                elif isinstance(node, ast.Name) and not in_traps:
+                    referenced.add(node.id)
+                if (isinstance(node, ast.Call)
+                        and self._tail_name(node.func) in ("_trap", "record")
+                        and node.args):
+                    kind = self._tail_name(node.args[0])
+                    if kind is not None:
+                        charged.add(kind)
+
+        member_set = set(members)
+        for name, lineno in constants:
+            if lineno < (tuple_line or 0) and name not in member_set:
+                yield self.finding(
+                    traps_file, _FakeNode(lineno),
+                    "trap kind `%s` is defined above ALL_TRAP_KINDS but not a "
+                    "member of it; it would be invisible to TrapStats totals "
+                    "and RunMetrics.vmtraps" % name)
+            if name not in referenced:
+                yield self.finding(
+                    traps_file, _FakeNode(lineno),
+                    "trap kind `%s` is never referenced outside traps.py; "
+                    "dead taxonomy entries hide unaccounted traps" % name)
+        for name in members:
+            if name not in charged:
+                yield self.finding(
+                    traps_file, _FakeNode(tuple_line),
+                    "trap kind `%s` is in ALL_TRAP_KINDS but never charged "
+                    "via _trap(...)/record(...); its VMtraps would cost zero "
+                    "cycles" % name)
+        if config_file is not None:
+            for field, lineno in self._cost_fields(config_file.tree):
+                if field not in attr_refs:
+                    yield self.finding(
+                        config_file, _FakeNode(lineno),
+                        "cost-model field `%s` is never read; every vmtrap "
+                        "cost knob must price some trap kind" % field)
+
+
+class _FakeNode:
+    """Location carrier for findings not tied to a single AST node."""
+
+    __slots__ = ("lineno", "col_offset")
+
+    def __init__(self, lineno, col_offset=0):
+        self.lineno = lineno or 1
+        self.col_offset = col_offset
+
+
+DEFAULT_RULES = (
+    UnseededRandomRule(),
+    MutableDefaultRule(),
+    BareExceptRule(),
+    PolicyHooksRule(),
+    TrapAccountingRule(),
+)

@@ -1,0 +1,58 @@
+"""Lint entry point shared by the CLI and the test suite."""
+
+import json
+import os
+import sys
+
+
+def default_lint_paths():
+    """With no arguments, lint the installed ``repro`` package itself."""
+    import repro
+
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def run_lint(paths=None, fmt="text", out=None, rules=None):
+    """Lint ``paths`` and render the findings.
+
+    Returns the process exit code: 0 for a clean tree, 1 when findings
+    exist, 2 on usage errors (a path that does not exist).
+    """
+    from repro.lint.engine import LintEngine
+    from repro.lint.rules import DEFAULT_RULES
+
+    out = out if out is not None else sys.stdout
+    paths = list(paths) if paths else default_lint_paths()
+    engine = LintEngine(DEFAULT_RULES if rules is None else rules)
+    try:
+        findings, checked = engine.run(paths)
+    except FileNotFoundError as error:
+        print("lint: %s" % (error,), file=out)
+        return 2
+    if fmt == "json":
+        payload = {
+            "checked_files": checked,
+            "finding_count": len(findings),
+            "findings": [f.as_dict() for f in findings],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        for finding in findings:
+            print(finding.format(), file=out)
+        print("checked %d files: %s" % (
+            checked,
+            "clean" if not findings else "%d finding%s" % (
+                len(findings), "" if len(findings) == 1 else "s")), file=out)
+    return 1 if findings else 0
+
+
+def list_rules(out=None):
+    """Print the rule catalogue (id, name, one-line description)."""
+    from repro.lint.engine import ParseErrorRule
+    from repro.lint.rules import DEFAULT_RULES
+
+    out = out if out is not None else sys.stdout
+    for rule in (ParseErrorRule(),) + tuple(DEFAULT_RULES):
+        print("%s  %-18s %s" % (rule.rule_id, rule.name, rule.description),
+              file=out)
+    return 0

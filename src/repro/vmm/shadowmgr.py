@@ -450,6 +450,11 @@ class ShadowManager:
         if not self.fully_nested:
             return
         self.fully_nested = False
+        # Guest PT updates during the fully-nested phase went direct, so
+        # any shadow entries from before it are stale (e.g., leaves for
+        # since-unmapped pages) — drop the whole table before rebuilding.
+        for index in list(self.spt.root.entries):
+            self.spt.clear_subtree(self.spt.root, index)
         for meta in self.node_meta.values():
             meta.mode = NODE_SHADOW
         self.root_switched = False

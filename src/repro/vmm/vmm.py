@@ -20,6 +20,7 @@ from repro.hw.walkstats import TranslationContext
 from repro.mem.pagetable import PageTableObserver
 from repro.vmm import traps as T
 from repro.vmm.hostpt import HostPageTable
+from repro.vmm.invariants import InvariantChecker
 from repro.vmm.policies import ProcessPolicy
 from repro.vmm.shadowmgr import NODE_SHADOW, ShadowManager
 from repro.vmm.shsp import SHSPController, TECH_SHADOW, rebuild_cost_cycles
@@ -77,6 +78,9 @@ class VMM(GuestPlatform):
         if self.mode == MODE_AGILE and config.hw_cr3_cache:
             self.cr3cache = CR3Cache(config.cr3_cache_entries)
         self._miss_rate_per_kop = 0.0
+        # Paranoid mode: re-derive the coherence invariants after every
+        # trap and mode switch (simulation-time only, never cycles).
+        self.invariants = InvariantChecker(self) if config.paranoid else None
         # Trace-cmd analogue (two-step methodology, Section VI): when set,
         # called as pt_write_hook(node, leaf_va, now) on every mediated
         # guest page-table write.
@@ -87,6 +91,14 @@ class VMM(GuestPlatform):
     def _trap(self, kind, cycles):
         self.traps.record(kind, cycles)
         self.clock.advance(cycles)
+
+    def _paranoid_after_trap(self, pid, va=None):
+        if self.invariants is not None:
+            self.invariants.after_trap(pid, va)
+
+    def _paranoid_after_switch(self, pid):
+        if self.invariants is not None:
+            self.invariants.after_mode_switch(pid)
 
     def _needs_shadow(self):
         return self.mode in (MODE_SHADOW, MODE_AGILE, MODE_SHSP)
@@ -229,8 +241,14 @@ class VMM(GuestPlatform):
         self._trap(T.PT_WRITE, self.cost.vmtrap_pt_write_cycles)
         if self.pt_write_hook is not None:
             self.pt_write_hook(node, leaf_va, self.clock.now)
+        switched = False
         if state.policy is not None:
-            state.policy.note_write(state.manager, node.frame, self.clock.now)
+            switched = state.policy.note_write(
+                state.manager, node.frame, self.clock.now)
+        if switched:
+            self._paranoid_after_switch(pid)
+        else:
+            self._paranoid_after_trap(pid, leaf_va)
 
     # -- VM exit handlers (walker faults) --------------------------------------------------
 
@@ -243,6 +261,7 @@ class VMM(GuestPlatform):
             self.hostpt.set_writable(gfn, True)
         self._trap(T.HOST_FAULT, self.cost.vmtrap_host_fault_cycles)
         self.mmu.invalidate_nested_gfn(gfn)
+        self._paranoid_after_trap(proc.pid, fault.va)
         return "retry"
 
     def handle_shadow_fault(self, proc, fault):
@@ -250,6 +269,7 @@ class VMM(GuestPlatform):
         state = self.states[proc.pid]
         outcome = state.manager.fill_for(fault.va)
         self._trap(T.SHADOW_FILL, self.cost.vmtrap_shadow_fill_cycles)
+        self._paranoid_after_trap(proc.pid, fault.va)
         if outcome == "guest_fault":
             return "guest_fault"
         return "retry"
@@ -271,10 +291,12 @@ class VMM(GuestPlatform):
                 self.clock.advance(cycles)
             else:
                 self._trap(T.DIRTY_SYNC, self.cost.vmtrap_dirty_sync_cycles)
+            self._paranoid_after_trap(proc.pid, fault.va)
             return "retry"
         if outcome == "refill":
             return self.handle_shadow_fault(proc, fault)
         self._trap(T.GUEST_FAULT_EXIT, self.cost.vmtrap_base_cycles)
+        self._paranoid_after_trap(proc.pid, fault.va)
         return "guest_fault"
 
     # -- translation context -----------------------------------------------------------------
@@ -310,9 +332,13 @@ class VMM(GuestPlatform):
         for state in self.states.values():
             if state.policy is None or state.manager is None:
                 continue
-            reverted += state.policy.tick(
+            was_fully_nested = state.manager.fully_nested
+            state_reverted = state.policy.tick(
                 state.manager, self.hostpt, now, self._miss_rate_per_kop
             )
+            reverted += state_reverted
+            if state_reverted or was_fully_nested != state.manager.fully_nested:
+                self._paranoid_after_switch(state.pid)
         if reverted:
             # Background scan work: rebuilding reverted shadow nodes.
             cycles = 1200 * reverted
@@ -353,6 +379,7 @@ class VMM(GuestPlatform):
             self.clock.advance(cycles)
         else:
             manager.fully_nested = True
+        self._paranoid_after_switch(state.pid)
 
     # -- host-level content-based page sharing (Section V) -----------------------
 

@@ -14,16 +14,28 @@ from repro.common.params import FOUR_KB
 
 
 class Workload:
-    """Base workload: named, sized, deterministic."""
+    """Base workload: named, sized, deterministic.
+
+    Randomness is injected: either pass a ``seed`` (the default; every
+    :meth:`reset` rewinds to the identical stream) or pass an explicit
+    pre-seeded ``rng`` with ``seed=None`` for a single-shot stream the
+    caller controls (e.g., sharing one generator across workloads).
+    Constructing an *unseeded* stream is impossible by design — the
+    REPRO101 lint rule enforces the same property statically.
+    """
 
     name = "workload"
     description = ""
 
-    def __init__(self, ops=100_000, seed=42, page_size=FOUR_KB):
+    def __init__(self, ops=100_000, seed=42, page_size=FOUR_KB, rng=None):
+        if seed is None and rng is None:
+            raise ValueError(
+                "workloads must be deterministic: pass a seed or a "
+                "pre-seeded rng")
         self.ops = ops
         self.seed = seed
         self.page_size = page_size
-        self.rng = np.random.default_rng(seed)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
     @property
     def granule(self):
@@ -33,8 +45,13 @@ class Workload:
         raise NotImplementedError
 
     def reset(self):
-        """Restore the deterministic starting state for a fresh run."""
-        self.rng = np.random.default_rng(self.seed)
+        """Restore the deterministic starting state for a fresh run.
+
+        With an injected ``rng`` (``seed=None``) the stream cannot be
+        rewound, so the generator continues — the caller owns it.
+        """
+        if self.seed is not None:
+            self.rng = np.random.default_rng(self.seed)
 
     # -- helpers shared by the suite ------------------------------------------
 
@@ -58,4 +75,4 @@ class Workload:
             api.access(base + index * granule, write)
 
     def __repr__(self):
-        return "%s(ops=%d, seed=%d)" % (type(self).__name__, self.ops, self.seed)
+        return "%s(ops=%d, seed=%r)" % (type(self).__name__, self.ops, self.seed)

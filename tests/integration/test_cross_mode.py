@@ -17,7 +17,9 @@ MODES = ("native", "nested", "shadow", "agile", "shsp")
 
 
 def run_system(mode, workload):
-    system = System(sandy_bridge_config(mode=mode))
+    # Paranoid mode: every VMtrap and mode switch in these runs also
+    # re-validates the shadow/guest/TLB coherence invariants.
+    system = System(sandy_bridge_config(mode=mode, paranoid=True))
     metrics = Simulator(system).run(workload)
     return system, metrics
 

@@ -1,0 +1,19 @@
+"""Shared fixture plumbing for the lint tests."""
+
+from repro.lint.engine import LintEngine
+from repro.lint.rules import DEFAULT_RULES
+
+
+def lint_sources(tmp_path, sources, rules=None):
+    """Write ``{relpath: source}`` under ``tmp_path`` and lint the tree."""
+    for relpath, source in sources.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    engine = LintEngine(DEFAULT_RULES if rules is None else rules)
+    findings, _checked = engine.run([str(tmp_path)])
+    return findings
+
+
+def rule_ids(findings):
+    return sorted({f.rule_id for f in findings})

@@ -1,0 +1,17 @@
+"""The shipped tree must lint clean — this is what makes the lint
+suite load-bearing: any rule violation introduced in ``src/repro``
+fails tier-1, not just the optional ``python -m repro lint`` run."""
+
+import os
+
+import repro
+from repro.lint.engine import LintEngine
+from repro.lint.rules import DEFAULT_RULES
+
+
+def test_repro_package_lints_clean():
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    engine = LintEngine(DEFAULT_RULES)
+    findings, checked = engine.run([package_dir])
+    assert checked > 20  # sanity: the walk actually found the package
+    assert findings == [], "\n".join(f.format() for f in findings)

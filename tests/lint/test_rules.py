@@ -1,0 +1,194 @@
+"""Per-rule positive and negative fixtures for the lint suite."""
+
+from .helpers import lint_sources, rule_ids
+
+
+class TestUnseededRandom:
+    def test_flags_global_random_and_wall_clock(self, tmp_path):
+        findings = lint_sources(tmp_path, {"bad.py": (
+            "import random\n"
+            "import time\n"
+            "import numpy as np\n"
+            "x = random.randint(0, 4)\n"
+            "y = time.time()\n"
+            "z = np.random.default_rng()\n"
+            "w = np.random.rand(3)\n"
+        )})
+        assert rule_ids(findings) == ["REPRO101"]
+        assert len(findings) == 4
+        messages = " | ".join(f.message for f in findings)
+        assert "wall-clock" in messages
+        assert "without a seed" in messages
+        assert "global" in messages
+
+    def test_tracks_import_aliases(self, tmp_path):
+        findings = lint_sources(tmp_path, {"bad.py": (
+            "from time import perf_counter as pc\n"
+            "from numpy.random import default_rng\n"
+            "t = pc()\n"
+            "r = default_rng()\n"
+        )})
+        assert len(findings) == 2
+
+    def test_seeded_constructions_are_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {"good.py": (
+            "import random\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+            "r2 = random.Random(7)\n"
+            "x = rng.integers(0, 10)\n"
+        )})
+        assert findings == []
+
+
+class TestMutableDefault:
+    def test_flags_literals_and_constructors(self, tmp_path):
+        findings = lint_sources(tmp_path, {"bad.py": (
+            "def f(a, b=[]):\n"
+            "    return a, b\n"
+            "def g(*, c={}):\n"
+            "    return c\n"
+            "def h(d=dict()):\n"
+            "    return d\n"
+            "k = lambda e=set(): e\n"
+        )})
+        assert rule_ids(findings) == ["REPRO102"]
+        assert len(findings) == 4
+
+    def test_immutable_defaults_are_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {"good.py": (
+            "def f(a=None, b=(), c=0, d='x'):\n"
+            "    return a, b, c, d\n"
+        )})
+        assert findings == []
+
+
+class TestBareExcept:
+    def test_flags_bare_except(self, tmp_path):
+        findings = lint_sources(tmp_path, {"bad.py": (
+            "try:\n"
+            "    pass\n"
+            "except:\n"
+            "    pass\n"
+        )})
+        assert rule_ids(findings) == ["REPRO103"]
+
+    def test_typed_handlers_are_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {"good.py": (
+            "try:\n"
+            "    pass\n"
+            "except (ValueError, KeyError):\n"
+            "    pass\n"
+            "except Exception:\n"
+            "    pass\n"
+        )})
+        assert findings == []
+
+
+class TestPolicyHooks:
+    def test_missing_hook_is_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {"policies.py": (
+            "class BrokenReversionPolicy:\n"
+            "    pass\n"
+        )})
+        assert rule_ids(findings) == ["REPRO104"]
+        assert "tick" in findings[0].message
+
+    def test_wrong_arity_is_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {"policies.py": (
+            "class SkewedTriggerPolicy:\n"
+            "    def note_write(self, manager, now):\n"
+            "        return False\n"
+        )})
+        assert rule_ids(findings) == ["REPRO104"]
+        assert "note_write" in findings[0].message
+
+    def test_conforming_policies_are_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {"policies.py": (
+            "class GoodReversionPolicy:\n"
+            "    def tick(self, manager, hostpt, now):\n"
+            "        return 0\n"
+            "class GoodTriggerPolicy:\n"
+            "    def note_write(self, manager, node_gfn, now):\n"
+            "        return False\n"
+        )})
+        assert findings == []
+
+
+TRAPS_OK = (
+    "PT_WRITE = 'pt_write'\n"
+    "HOST_FAULT = 'host_fault'\n"
+    "ALL_TRAP_KINDS = (PT_WRITE, HOST_FAULT)\n"
+)
+VMM_OK = (
+    "from vmm import traps as T\n"
+    "class V:\n"
+    "    def go(self):\n"
+    "        self._trap(T.PT_WRITE, self.cost.vmtrap_pt_write_cycles)\n"
+    "        self.traps.record(T.HOST_FAULT, self.cost.vmtrap_host_fault_cycles)\n"
+)
+CONFIG_OK = (
+    "class CostConfig:\n"
+    "    vmtrap_pt_write_cycles: int = 2200\n"
+    "    vmtrap_host_fault_cycles: int = 3500\n"
+)
+
+
+class TestTrapAccounting:
+    def test_consistent_taxonomy_is_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "vmm/traps.py": TRAPS_OK,
+            "vmm/vmm.py": VMM_OK,
+            "common/config.py": CONFIG_OK,
+        })
+        assert findings == []
+
+    def test_kind_missing_from_tuple_is_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "vmm/traps.py": (
+                "PT_WRITE = 'pt_write'\n"
+                "HOST_FAULT = 'host_fault'\n"
+                "ALL_TRAP_KINDS = (PT_WRITE,)\n"
+            ),
+            "vmm/vmm.py": VMM_OK,
+            "common/config.py": CONFIG_OK,
+        })
+        assert any("not a member" in f.message for f in findings)
+        assert rule_ids(findings) == ["REPRO201"]
+
+    def test_uncharged_kind_is_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "vmm/traps.py": TRAPS_OK,
+            "vmm/vmm.py": (
+                "from vmm import traps as T\n"
+                "class V:\n"
+                "    def go(self):\n"
+                "        self._trap(T.PT_WRITE, self.cost.vmtrap_pt_write_cycles)\n"
+                "        kinds = [T.HOST_FAULT]\n"
+                "        cost = self.cost.vmtrap_host_fault_cycles\n"
+            ),
+            "common/config.py": CONFIG_OK,
+        })
+        assert any("never charged" in f.message for f in findings)
+
+    def test_unused_cost_field_is_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "vmm/traps.py": TRAPS_OK,
+            "vmm/vmm.py": VMM_OK,
+            "common/config.py": CONFIG_OK
+            + "    vmtrap_orphan_cycles: int = 1\n",
+        })
+        assert any("vmtrap_orphan_cycles" in f.message for f in findings)
+
+    def test_dead_taxonomy_entry_is_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "vmm/traps.py": TRAPS_OK + "GHOST = 'ghost'\n",
+            "vmm/vmm.py": VMM_OK,
+            "common/config.py": CONFIG_OK,
+        })
+        assert any("GHOST" in f.message and "never referenced" in f.message
+                   for f in findings)
+
+    def test_no_traps_module_means_no_findings(self, tmp_path):
+        findings = lint_sources(tmp_path, {"plain.py": "x = 1\n"})
+        assert findings == []
