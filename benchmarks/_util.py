@@ -13,6 +13,20 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 #   REPRO_OPS=200000 pytest benchmarks/ --benchmark-only
 DEFAULT_OPS = int(os.environ.get("REPRO_OPS", "60000"))
 
+# Sweep execution knobs for the grid-shaped harnesses (Table V/VI, Figure 5):
+#   REPRO_WORKERS=8 fans cells across processes;
+#   REPRO_CACHE_DIR=.repro-cache reuses results until src/repro changes.
+DEFAULT_WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", "")
+
+
+def default_runner():
+    """A SweepRunner configured from REPRO_WORKERS / REPRO_CACHE_DIR."""
+    from repro.runner import ResultCache, SweepRunner
+
+    cache = ResultCache(CACHE_DIR) if CACHE_DIR else None
+    return SweepRunner(workers=DEFAULT_WORKERS, cache=cache)
+
 
 def emit(name, text):
     """Print a rendered table and persist it under benchmarks/results/."""

@@ -14,11 +14,12 @@ from repro.analysis.experiments import figure5, headline_claims
 from repro.analysis.plots import render_figure5
 from repro.analysis.tables import figure5_rows, format_table
 
-from _util import DEFAULT_OPS, emit, run_once
+from _util import DEFAULT_OPS, default_runner, emit, run_once
 
 
 def test_figure5_overheads(benchmark):
-    results = run_once(benchmark, lambda: figure5(ops=DEFAULT_OPS))
+    results = run_once(
+        benchmark, lambda: figure5(ops=DEFAULT_OPS, runner=default_runner()))
     rows = figure5_rows(results)
     text = format_table(
         ("Workload", "Config", "Page walk", "VMM", "Total"),

@@ -1,28 +1,31 @@
 """Table V: the workload suite — descriptions, footprints, behaviour.
 
 Prints paper footprint vs scaled footprint and each workload's measured
-steady-state character (miss rate, PT-update traps under shadow).
+steady-state character (miss rate, PT-update traps under shadow). Runs
+through the sweep runner, so ``REPRO_WORKERS``/``REPRO_CACHE_DIR``
+parallelize and cache the suite like any other sweep.
 """
 
-from repro.common.config import sandy_bridge_config
-from repro.core.simulator import run_workload
+from repro.analysis.experiments import table5
 from repro.workloads.suite import PAPER_FOOTPRINTS, SUITE
 from repro.analysis.tables import format_table
 
-from _util import DEFAULT_OPS, emit, run_once
+from _util import DEFAULT_OPS, default_runner, emit, run_once
 
 
 def test_table5_workload_suite(benchmark):
+    classes = {cls.name: cls for cls in SUITE}
+
     def measure():
+        results = table5(ops=min(DEFAULT_OPS, 30_000), runner=default_runner())
         rows = []
-        for cls in SUITE:
-            workload = cls(ops=min(DEFAULT_OPS, 30_000))
-            metrics = run_workload(workload, sandy_bridge_config(mode="shadow"))
+        for name, metrics in results.items():
+            cls = classes[name]
             rows.append((
-                workload.name,
-                workload.description,
-                PAPER_FOOTPRINTS[workload.name],
-                "%d MB" % workload.footprint_mb,
+                name,
+                cls.description,
+                PAPER_FOOTPRINTS[name],
+                "%d MB" % cls.footprint_mb,
                 "%.1f" % metrics.miss_rate_per_kop,
                 metrics.trap_counts.get("pt_write", 0),
             ))

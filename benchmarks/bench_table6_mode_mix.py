@@ -8,11 +8,12 @@ miss (down from nested paging's 24).
 from repro.analysis.experiments import table6
 from repro.analysis.tables import format_table, table6_rows
 
-from _util import DEFAULT_OPS, emit, run_once
+from _util import DEFAULT_OPS, default_runner, emit, run_once
 
 
 def test_table6_mode_mix(benchmark):
-    results = run_once(benchmark, lambda: table6(ops=DEFAULT_OPS))
+    results = run_once(
+        benchmark, lambda: table6(ops=DEFAULT_OPS, runner=default_runner()))
     rows = table6_rows(results)
     text = format_table(
         ("Workload", "Shadow", "L4", "L3", "L2", "L1", "Nested", "Avg refs"),

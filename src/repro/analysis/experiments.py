@@ -2,6 +2,16 @@
 
 Each returns structured data; the benchmark harnesses print it in the
 paper's row format and EXPERIMENTS.md records paper-vs-measured.
+
+The grid-shaped experiments (Table V, Table VI, Figure 5) are built on
+:mod:`repro.runner`: each ``<name>_cells`` function enumerates the
+sweep as frozen :class:`CellSpec` cells, and the matching experiment
+function executes them through a :class:`SweepRunner` — pass
+``runner=SweepRunner(workers=N, cache=ResultCache(...))`` to fan the
+sweep across processes and/or reuse cached cells; the default runs
+serially in-process with results identical to the pre-runner code path.
+The hand-instrumented micro-measurements (Tables I/II, Figure 3) poke
+VMM internals mid-run and stay direct.
 """
 
 from dataclasses import replace
@@ -17,7 +27,8 @@ from repro.common.config import (
 from repro.common.params import FOUR_KB, TWO_MB
 from repro.core.machine import System
 from repro.core.simulator import Simulator
-from repro.workloads.suite import SUITE, make_suite
+from repro.runner import CellSpec, SweepRunner
+from repro.workloads.suite import SUITE
 
 DEFAULT_OPS = 60_000
 
@@ -27,6 +38,18 @@ def run_one(workload, mode, page_size=FOUR_KB, **overrides):
     config = sandy_bridge_config(mode=mode, page_size=page_size, **overrides)
     system = System(config)
     return Simulator(system).run(workload)
+
+
+def _sweep(cells, runner):
+    """Run cells through the given (or a default serial) runner."""
+    if runner is None:
+        runner = SweepRunner(workers=1)
+    return runner.run(cells).raise_on_failure()
+
+
+def _suite_classes(workload_names):
+    return [cls for cls in SUITE
+            if workload_names is None or cls.name in workload_names]
 
 
 # -- Table I ---------------------------------------------------------------------
@@ -185,23 +208,32 @@ def figure3_journals():
 # -- Figure 5 -----------------------------------------------------------------------------
 
 
+def figure5_cells(ops=DEFAULT_OPS, workload_names=None,
+                  page_sizes=(FOUR_KB, TWO_MB), modes=ALL_MODES, **overrides):
+    """The Figure 5 grid as cells: workloads x page sizes x modes."""
+    cells = []
+    for cls in _suite_classes(workload_names):
+        for page_size in page_sizes:
+            for mode in modes:
+                cells.append(CellSpec.make(
+                    cls.name, mode=mode, page_size=page_size, ops=ops,
+                    overrides=overrides or None))
+    return cells
+
+
 def figure5(ops=DEFAULT_OPS, workload_names=None, page_sizes=(FOUR_KB, TWO_MB),
-            modes=ALL_MODES, **overrides):
+            modes=ALL_MODES, runner=None, **overrides):
     """The headline experiment: the full grid of Figure 5.
 
     Returns {workload_name: {(page_size_name, mode): RunMetrics}}.
     """
+    cells = figure5_cells(ops=ops, workload_names=workload_names,
+                          page_sizes=page_sizes, modes=modes, **overrides)
+    sweep = _sweep(cells, runner)
     results = {}
-    for cls in SUITE:
-        if workload_names is not None and cls.name not in workload_names:
-            continue
-        per_config = {}
-        for page_size in page_sizes:
-            for mode in modes:
-                workload = cls(ops=ops, page_size=page_size)
-                metrics = run_one(workload, mode, page_size, **overrides)
-                per_config[(page_size.name, mode)] = metrics
-        results[cls.name] = per_config
+    for cell in cells:
+        per_config = results.setdefault(cell.workload, {})
+        per_config[(cell.page_size, cell.mode)] = sweep.metrics_for(cell)
     return results
 
 
@@ -246,18 +278,38 @@ def headline_claims(fig5_results, page_size_name="4K"):
     return rows, summary
 
 
+# -- Table V --------------------------------------------------------------------------------------
+
+
+def table5_cells(ops=30_000, workload_names=None):
+    """The Table V characterization sweep: the whole suite under shadow.
+
+    Shadow paging exposes each workload's defining ratio — TLB-miss
+    traffic vs page-table-update traps — in one configuration.
+    """
+    return [CellSpec.make(cls.name, mode=MODE_SHADOW, ops=ops)
+            for cls in _suite_classes(workload_names)]
+
+
+def table5(ops=30_000, workload_names=None, runner=None):
+    """Table V workload characterization: {workload_name: RunMetrics}."""
+    cells = table5_cells(ops=ops, workload_names=workload_names)
+    sweep = _sweep(cells, runner)
+    return {cell.workload: sweep.metrics_for(cell) for cell in cells}
+
+
 # -- Table VI -------------------------------------------------------------------------------------
 
 
-def table6(ops=DEFAULT_OPS, workload_names=None):
+def table6_cells(ops=DEFAULT_OPS, workload_names=None):
+    """Table VI as cells: agile mode, 4 KB pages, PWCs disabled."""
+    return [CellSpec.make(cls.name, mode=MODE_AGILE, ops=ops,
+                          overrides={"pwc.enabled": False})
+            for cls in _suite_classes(workload_names)]
+
+
+def table6(ops=DEFAULT_OPS, workload_names=None, runner=None):
     """Table VI: agile-mode TLB-miss mix with PWCs disabled, 4 KB pages."""
-    results = {}
-    for cls in SUITE:
-        if workload_names is not None and cls.name not in workload_names:
-            continue
-        workload = cls(ops=ops)
-        config = sandy_bridge_config(mode=MODE_AGILE)
-        config = replace(config, pwc=replace(config.pwc, enabled=False))
-        system = System(config)
-        results[cls.name] = Simulator(system).run(workload)
-    return results
+    cells = table6_cells(ops=ops, workload_names=workload_names)
+    sweep = _sweep(cells, runner)
+    return {cell.workload: sweep.metrics_for(cell) for cell in cells}

@@ -2,14 +2,18 @@
 
 Commands::
 
-    list       workloads and paging modes
-    run        one workload under one configuration
-    compare    one workload under every mode (incl. the SHSP baseline)
-    figure5    the full Figure 5 grid
-    table6     Table VI (agile miss mix, no PWCs)
-    tables     Tables I / II / III (architecture-level reproductions)
-    sweep      sweep one policy knob and report the effect
-    lint       run the project's static sanitizer over source trees
+    list         workloads and paging modes
+    run          one workload under one configuration
+    compare      one workload under every mode (incl. the SHSP baseline)
+    figure5      the full Figure 5 grid
+    table6       Table VI (agile miss mix, no PWCs)
+    tables       Tables I / II / III (architecture-level reproductions)
+    sweep        run a (workloads x modes x page sizes) experiment grid
+                 through the parallel runner: worker pool, on-disk result
+                 cache, per-cell timeout/retry, deterministic sharding,
+                 progress lines, JSON summary
+    policy-sweep sweep one VMM policy knob and report the effect
+    lint         run the project's static sanitizer over source trees
 
 Every command prints paper-style tables to stdout and exits non-zero on
 bad arguments, so the tool scripts cleanly.
@@ -164,6 +168,100 @@ def cmd_tables(_args, out):
 
 
 def cmd_sweep(args, out):
+    """The parallel experiment runner: a grid of cells, fanned out."""
+    import json
+
+    from repro.analysis.tables import format_table
+    from repro.runner import CellSpec, ResultCache, SweepRunner, parse_shard
+
+    classes = _workload_classes()
+    if args.workloads in (None, "", "all"):
+        names = sorted(classes)
+    else:
+        names = args.workloads.split(",")
+        unknown = [n for n in names if n not in classes]
+        if unknown:
+            print("unknown workload(s): %s" % ", ".join(unknown), file=out)
+            return 2
+    modes = args.modes.split(",")
+    bad_modes = [m for m in modes if m not in EXTENDED_MODES]
+    if bad_modes:
+        print("unknown mode(s): %s" % ", ".join(bad_modes), file=out)
+        return 2
+    page_sizes = args.page_sizes.split(",")
+    bad_sizes = [p for p in page_sizes if p not in PAGE_SIZES]
+    if bad_sizes:
+        print("unknown page size(s): %s" % ", ".join(bad_sizes), file=out)
+        return 2
+
+    overrides = {}
+    if args.no_pwc:
+        overrides["pwc.enabled"] = False
+    if args.no_ad_assist:
+        overrides["hw_ad_assist"] = False
+    if args.no_cr3_cache:
+        overrides["hw_cr3_cache"] = False
+    if args.paranoid:
+        overrides["paranoid"] = True
+
+    cells = [
+        CellSpec.make(name, mode=mode, page_size=page_size, ops=args.ops,
+                      seed=args.seed, overrides=overrides or None)
+        for name in names
+        for page_size in page_sizes
+        for mode in modes
+    ]
+
+    try:
+        shard = parse_shard(args.shard) if args.shard else None
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+        if args.invalidate_cache:
+            cache.invalidate()
+
+    def progress(event):
+        if args.quiet:
+            return
+        print("[%d/%d] %-28s %-7s (attempts=%d, %.2fs)" % (
+            event["done"], event["total"], event["cell"], event["status"],
+            event["attempts"], event["elapsed"]), file=out)
+
+    runner = SweepRunner(workers=args.workers, cache=cache,
+                         timeout=args.timeout, retries=args.retries,
+                         progress=progress)
+    sweep = runner.run(cells, shard=shard)
+
+    rows = [_metrics_row(r.metrics) for r in sweep if r.succeeded]
+    if rows:
+        print(format_table(METRICS_HEADERS, rows, title="Sweep results"),
+              file=out)
+    for result in sweep.failures():
+        first_line = (result.error or "").splitlines()[0] if result.error else ""
+        print("FAILED %s [%s after %d attempt(s)]: %s" % (
+            result.spec.describe(), result.status, result.attempts,
+            first_line), file=out)
+    summary = sweep.summary()
+    print("\n%d cells: %d simulated, %d cached, %d failed, %d timed out "
+          "(%.2fs, workers=%d)" % (
+              summary["cells"], summary["simulated"], summary["cached"],
+              summary["failed"], summary["timeout"], summary["elapsed"],
+              args.workers), file=out)
+    if args.json:
+        if args.json == "-":
+            print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(summary, handle, indent=2, sort_keys=True)
+            print("summary written to %s" % args.json, file=out)
+    return 0 if not sweep.failures() else 1
+
+
+def cmd_policy_sweep(args, out):
     from repro.analysis.tables import format_table
 
     cls = _workload_classes()[args.workload]
@@ -243,14 +341,54 @@ def build_parser():
 
     sub.add_parser("tables", help="Tables I/II/III")
 
-    sweep_parser = sub.add_parser("sweep", help="sweep a policy knob")
-    sweep_parser.add_argument("--workload", choices=sorted(_workload_classes()),
-                              default="memcached")
-    sweep_parser.add_argument("--ops", type=int, default=60_000)
-    sweep_parser.add_argument("--param", default="write_threshold",
-                              choices=("write_threshold", "write_interval",
-                                       "revert_interval"))
-    sweep_parser.add_argument("--values", default="1,2,4,8")
+    sweep_parser = sub.add_parser(
+        "sweep", help="run an experiment grid through the parallel runner")
+    sweep_parser.add_argument(
+        "--workloads", default="all",
+        help="comma-separated workload names, or 'all' (default)")
+    sweep_parser.add_argument("--modes", default="native,nested,shadow,agile",
+                              help="comma-separated paging modes")
+    sweep_parser.add_argument("--page-sizes", default="4K",
+                              help="comma-separated page sizes (4K,2M,1G)")
+    sweep_parser.add_argument("--ops", type=int, default=20_000)
+    sweep_parser.add_argument("--seed", type=int, default=None,
+                              help="override every workload's default seed")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (1 = in-process serial)")
+    sweep_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-cell timeout in seconds "
+                                   "(enforced when workers > 1)")
+    sweep_parser.add_argument("--retries", type=int, default=1,
+                              help="extra attempts per failed/timed-out cell")
+    sweep_parser.add_argument("--cache-dir", default=".repro-cache",
+                              help="on-disk result cache location")
+    sweep_parser.add_argument("--no-cache", action="store_true",
+                              help="simulate every cell, touch no cache")
+    sweep_parser.add_argument("--invalidate-cache", action="store_true",
+                              help="wipe the cache before running")
+    sweep_parser.add_argument("--shard", default=None, metavar="K/N",
+                              help="run only deterministic shard K of N")
+    sweep_parser.add_argument("--json", default=None, metavar="PATH",
+                              help="write the JSON summary to PATH ('-' to "
+                                   "print it)")
+    sweep_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-cell progress lines")
+    sweep_parser.add_argument("--no-pwc", action="store_true",
+                              help="disable page-walk caches")
+    sweep_parser.add_argument("--no-ad-assist", action="store_true")
+    sweep_parser.add_argument("--no-cr3-cache", action="store_true")
+    sweep_parser.add_argument("--paranoid", action="store_true",
+                              help="validate coherence invariants during "
+                                   "every cell")
+
+    psweep_parser = sub.add_parser("policy-sweep", help="sweep a policy knob")
+    psweep_parser.add_argument("--workload", choices=sorted(_workload_classes()),
+                               default="memcached")
+    psweep_parser.add_argument("--ops", type=int, default=60_000)
+    psweep_parser.add_argument("--param", default="write_threshold",
+                               choices=("write_threshold", "write_interval",
+                                        "revert_interval"))
+    psweep_parser.add_argument("--values", default="1,2,4,8")
 
     lint_parser = sub.add_parser(
         "lint", help="run the project's static sanitizer")
@@ -272,6 +410,7 @@ COMMANDS = {
     "table6": cmd_table6,
     "tables": cmd_tables,
     "sweep": cmd_sweep,
+    "policy-sweep": cmd_policy_sweep,
     "lint": cmd_lint,
 }
 

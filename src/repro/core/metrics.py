@@ -110,6 +110,63 @@ class RunMetrics:
             for name, key in TABLE6_COLUMNS
         }
 
+    # -- serialization (result cache / pool workers) --------------------------
+
+    def to_dict(self):
+        """Full-fidelity, JSON-safe form: every raw counter, no rounding.
+
+        ``from_dict(to_dict(m))`` reproduces ``m`` exactly (ints and
+        floats bit-identical), which is what lets the sweep runner treat
+        cached, serial, and pool-worker results interchangeably.
+        ``walks_by_depth`` is stored as sorted pairs because its keys mix
+        ints with the :data:`NESTED_FULL` sentinel string.
+        """
+        return {
+            "label": self.label,
+            "mode": self.mode,
+            "page_size": str(self.page_size),
+            "ops": self.ops,
+            "reads": self.reads,
+            "writes": self.writes,
+            "total_cycles": self.total_cycles,
+            "ideal_cycles": self.ideal_cycles,
+            "walk_cycles": self.walk_cycles,
+            "tlb_l2_cycles": self.tlb_l2_cycles,
+            "vmm_cycles": self.vmm_cycles,
+            "guest_fault_cycles": self.guest_fault_cycles,
+            "tlb_hits_l1": self.tlb_hits_l1,
+            "tlb_hits_l2": self.tlb_hits_l2,
+            "tlb_misses": self.tlb_misses,
+            "walk_refs": self.walk_refs,
+            "fault_refs": self.fault_refs,
+            "walks_by_depth": sorted(
+                ([key, count] for key, count in self.walks_by_depth.items()),
+                key=lambda pair: str(pair[0])),
+            "trap_counts": dict(self.trap_counts),
+            "trap_cycles": dict(self.trap_cycles),
+            "guest_faults": self.guest_faults,
+            "cow_faults": self.cow_faults,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a :class:`RunMetrics` from its :meth:`to_dict` form."""
+        from repro.common.params import PAGE_SIZES
+
+        metrics = cls(data["label"], data["mode"], PAGE_SIZES[data["page_size"]])
+        for name in (
+                "ops", "reads", "writes", "total_cycles", "ideal_cycles",
+                "walk_cycles", "tlb_l2_cycles", "vmm_cycles",
+                "guest_fault_cycles", "tlb_hits_l1", "tlb_hits_l2",
+                "tlb_misses", "walk_refs", "fault_refs", "guest_faults",
+                "cow_faults"):
+            setattr(metrics, name, data[name])
+        metrics.walks_by_depth = {key: count
+                                  for key, count in data["walks_by_depth"]}
+        metrics.trap_counts = dict(data["trap_counts"])
+        metrics.trap_cycles = dict(data["trap_cycles"])
+        return metrics
+
     def summary(self):
         """A compact dict for reports and benchmarks."""
         return {

@@ -84,7 +84,8 @@ class Simulator:
         return self.system.collect_metrics(label=workload.name)
 
 
-def run_workload(workload, config=None, **config_overrides):
+def run_workload(workload, config=None, seed=None, rng=None, ops=None,
+                 **config_overrides):
     """One-call convenience: build a system, run, return metrics.
 
     This is the primary public entry point::
@@ -92,8 +93,35 @@ def run_workload(workload, config=None, **config_overrides):
         from repro import run_workload, sandy_bridge_config
         metrics = run_workload(my_workload,
                                sandy_bridge_config(mode="agile"))
+
+    ``workload`` may also be a workload *class*; it is then constructed
+    here with the config's page size and, when given, ``ops`` and either
+    ``seed`` or a pre-seeded ``rng`` — threading the caller's randomness
+    through to construction under the ``Workload(rng=...)`` contract::
+
+        metrics = run_workload(McfLike, seed=7, ops=20_000, mode="agile")
+
+    Passing ``seed``/``rng``/``ops`` alongside an already-constructed
+    workload instance is an error: an instance's stream is fixed at
+    construction, and silently ignoring the arguments would break the
+    determinism they are meant to pin down.
     """
     if config is None:
         config = sandy_bridge_config(**config_overrides)
+    if isinstance(workload, type):
+        kwargs = {"page_size": config.page_size}
+        if ops is not None:
+            kwargs["ops"] = ops
+        if rng is not None:
+            kwargs["rng"] = rng
+            kwargs["seed"] = None
+        elif seed is not None:
+            kwargs["seed"] = seed
+        workload = workload(**kwargs)
+    elif seed is not None or rng is not None or ops is not None:
+        raise TypeError(
+            "seed=/rng=/ops= require a workload class; %r is already "
+            "constructed (pass them to its constructor instead)"
+            % (type(workload).__name__,))
     system = System(config)
     return Simulator(system).run(workload)

@@ -1,0 +1,56 @@
+"""Parallel experiment runner: cell specs, result cache, sweep pool.
+
+The public surface of the subsystem::
+
+    from repro.runner import CellSpec, ResultCache, SweepRunner
+
+    cells = [CellSpec.make("mcf", mode=m, ops=20_000)
+             for m in ("nested", "shadow", "agile")]
+    sweep = SweepRunner(workers=4, cache=ResultCache(".repro-cache")).run(cells)
+    sweep.raise_on_failure()
+    for result in sweep:
+        print(result.spec.describe(), result.metrics.summary())
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.fingerprint import clear_fingerprint_cache, code_fingerprint
+from repro.runner.spec import (
+    CellSpec,
+    SpecError,
+    canonicalize_overrides,
+    execute_cell,
+    resolve_workload_class,
+)
+from repro.runner.sweep import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellResult,
+    SweepFailure,
+    SweepResult,
+    SweepRunner,
+    parse_shard,
+    shard_cells,
+)
+
+__all__ = [
+    "CellSpec",
+    "SpecError",
+    "canonicalize_overrides",
+    "execute_cell",
+    "resolve_workload_class",
+    "ResultCache",
+    "code_fingerprint",
+    "clear_fingerprint_cache",
+    "SweepRunner",
+    "SweepResult",
+    "SweepFailure",
+    "CellResult",
+    "shard_cells",
+    "parse_shard",
+    "STATUS_OK",
+    "STATUS_CACHED",
+    "STATUS_FAILED",
+    "STATUS_TIMEOUT",
+]

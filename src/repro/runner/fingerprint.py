@@ -1,0 +1,53 @@
+"""Source-tree fingerprinting for cache invalidation.
+
+A cached cell result is only valid while the simulator that produced it
+is byte-identical: *any* change under ``src/repro`` may shift reproduced
+numbers. The fingerprint is a SHA-256 over every ``*.py`` file in the
+package (relative path + content), so editing, adding, or deleting any
+module invalidates the whole cache — coarse on purpose; recomputing a
+cell is cheap next to silently reporting stale paper numbers.
+"""
+
+import hashlib
+import os
+
+# Fingerprints are stable for the life of a process (source edits while
+# running don't count as "the code that produced this result").
+_CACHE = {}
+
+
+def package_root():
+    """The directory of the installed ``repro`` package."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def code_fingerprint(root=None):
+    """Hex SHA-256 fingerprint of every ``*.py`` file under ``root``."""
+    root = os.path.abspath(root) if root else package_root()
+    cached = _CACHE.get(root)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            relative = os.path.relpath(path, root)
+            digest.update(relative.encode("utf-8"))
+            digest.update(b"\0")
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+            digest.update(b"\0")
+    fingerprint = digest.hexdigest()
+    _CACHE[root] = fingerprint
+    return fingerprint
+
+
+def clear_fingerprint_cache():
+    """Forget memoized fingerprints (tests that edit source trees)."""
+    _CACHE.clear()

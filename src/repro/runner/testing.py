@@ -1,0 +1,82 @@
+"""Tiny and fault-injecting workloads for exercising the sweep runner.
+
+These are *not* part of the Table V suite; cells reference them through
+``CellSpec.make(factory="repro.runner.testing:ClassName", ...)`` so both
+the parent and pool workers can resolve them by import, whatever the
+multiprocessing start method.
+"""
+
+import time
+
+from repro.workloads.base import Workload
+
+
+class TinyWorkload(Workload):
+    """A minimal deterministic workload: one region, a short access mix."""
+
+    name = "tiny"
+    description = "runner-test workload: small, fast, deterministic"
+
+    def __init__(self, ops=200, seed=7, pages=8, **kw):
+        super().__init__(ops=ops, seed=seed, **kw)
+        self.pages = pages
+
+    def execute(self, api):
+        self.reset()
+        api.spawn()
+        base = api.mmap(self.pages * self.granule)
+        self.warm_region(api, base, self.pages, write=True)
+        api.start_measurement()
+        indices = self.rng.integers(0, self.pages, size=self.ops)
+        writes = self.rng.random(self.ops) < 0.25
+        self.region_access(api, base, indices, writes)
+
+
+class CrashyWorkload(TinyWorkload):
+    """Raises partway through every run (the unrecoverable-cell case)."""
+
+    name = "crashy"
+    description = "runner-test workload: always raises mid-run"
+
+    def execute(self, api):
+        api.spawn()
+        base = api.mmap(self.granule)
+        api.write(base)
+        raise RuntimeError("crashy workload raised (by design)")
+
+
+# In-process attempt counter for CrashOnceWorkload. Only meaningful for
+# serial (in-process) retries: each pool worker is a fresh process.
+_CRASH_ONCE_ATTEMPTS = {"count": 0}
+
+
+def reset_crash_once():
+    _CRASH_ONCE_ATTEMPTS["count"] = 0
+
+
+class CrashOnceWorkload(TinyWorkload):
+    """Raises on the first in-process attempt, succeeds on the retry."""
+
+    name = "crash-once"
+    description = "runner-test workload: fails once, then recovers"
+
+    def execute(self, api):
+        _CRASH_ONCE_ATTEMPTS["count"] += 1
+        if _CRASH_ONCE_ATTEMPTS["count"] == 1:
+            raise RuntimeError("transient failure (by design)")
+        super().execute(api)
+
+
+class SleepyWorkload(TinyWorkload):
+    """Blocks in host wall-clock time (the hung-cell/timeout case)."""
+
+    name = "sleepy"
+    description = "runner-test workload: hangs for sleep_seconds"
+
+    def __init__(self, ops=200, seed=7, sleep_seconds=60.0, **kw):
+        super().__init__(ops=ops, seed=seed, **kw)
+        self.sleep_seconds = sleep_seconds
+
+    def execute(self, api):
+        time.sleep(self.sleep_seconds)
+        super().execute(api)

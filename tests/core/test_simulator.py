@@ -78,3 +78,45 @@ class TestRunWorkload:
     def test_default_is_native(self):
         metrics = run_workload(TinyWorkload())
         assert metrics.mode == "native"
+
+
+class TestSeedThreading:
+    """run_workload threads seed=/rng= into Workload construction.
+
+    Regression for the gap where callers had no way to pass a pre-seeded
+    rng through run_workload consistently with the ``Workload(rng=...)``
+    contract — the workload had to be constructed by hand first.
+    """
+
+    def test_class_with_seed_is_deterministic(self):
+        from repro.runner.testing import TinyWorkload as RandomTiny
+
+        first = run_workload(RandomTiny, seed=9, ops=300, mode="shadow")
+        second = run_workload(RandomTiny, seed=9, ops=300, mode="shadow")
+        assert first.to_dict() == second.to_dict()
+
+    def test_seed_and_equivalent_rng_agree(self):
+        import numpy as np
+
+        from repro.runner.testing import TinyWorkload as RandomTiny
+
+        seeded = run_workload(RandomTiny, seed=9, ops=300, mode="shadow")
+        injected = run_workload(RandomTiny, rng=np.random.default_rng(9),
+                                ops=300, mode="shadow")
+        assert seeded.to_dict() == injected.to_dict()
+
+    def test_class_gets_config_page_size(self):
+        from repro.common.params import TWO_MB
+        from repro.runner.testing import TinyWorkload as RandomTiny
+
+        metrics = run_workload(RandomTiny,
+                               sandy_bridge_config(mode="native",
+                                                   page_size=TWO_MB),
+                               seed=1, ops=100)
+        assert str(metrics.page_size) == "2M"
+
+    def test_instance_plus_seed_is_an_error(self):
+        with pytest.raises(TypeError):
+            run_workload(TinyWorkload(), seed=3)
+        with pytest.raises(TypeError):
+            run_workload(TinyWorkload(), ops=10)

@@ -1,0 +1,112 @@
+"""Fault paths: crashing cells, hung cells, bounded retries, isolation."""
+
+import pytest
+
+from repro.runner import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellSpec,
+    SweepFailure,
+    SweepRunner,
+)
+from repro.runner.testing import reset_crash_once
+
+TINY = "repro.runner.testing:TinyWorkload"
+CRASHY = "repro.runner.testing:CrashyWorkload"
+CRASH_ONCE = "repro.runner.testing:CrashOnceWorkload"
+SLEEPY = "repro.runner.testing:SleepyWorkload"
+
+
+def cell(name, factory, **kw):
+    defaults = dict(mode="native", ops=100)
+    defaults.update(kw)
+    return CellSpec.make(name, factory=factory, **defaults)
+
+
+class TestSerialFaults:
+    def test_crash_is_retried_then_reported_failed(self):
+        result = SweepRunner(workers=1, retries=2).run([cell("crashy", CRASHY)])
+        crashed = next(iter(result))
+        assert crashed.status == STATUS_FAILED
+        assert crashed.attempts == 3  # 1 try + 2 retries
+        assert "crashy workload raised" in crashed.error
+
+    def test_transient_crash_recovers_on_retry(self):
+        reset_crash_once()
+        result = SweepRunner(workers=1, retries=1).run(
+            [cell("crash-once", CRASH_ONCE)])
+        recovered = next(iter(result))
+        assert recovered.status == STATUS_OK
+        assert recovered.attempts == 2
+        assert recovered.metrics is not None
+
+    def test_zero_retries_means_one_attempt(self):
+        reset_crash_once()
+        result = SweepRunner(workers=1, retries=0).run(
+            [cell("crash-once", CRASH_ONCE)])
+        assert next(iter(result)).status == STATUS_FAILED
+        assert next(iter(result)).attempts == 1
+
+    def test_failed_cell_does_not_poison_siblings(self):
+        sweep = SweepRunner(workers=1, retries=0).run([
+            cell("tiny", TINY, seed=1),
+            cell("crashy", CRASHY),
+            cell("tiny", TINY, seed=2),
+        ])
+        statuses = [r.status for r in sweep]
+        assert statuses == [STATUS_OK, STATUS_FAILED, STATUS_OK]
+
+    def test_raise_on_failure_names_the_cell(self):
+        sweep = SweepRunner(workers=1, retries=0).run([cell("crashy", CRASHY)])
+        with pytest.raises(SweepFailure, match="crashy"):
+            sweep.raise_on_failure()
+
+
+class TestParallelFaults:
+    def test_crash_reported_without_poisoning_siblings(self):
+        sweep = SweepRunner(workers=2, retries=1).run([
+            cell("crashy", CRASHY),
+            cell("tiny", TINY, seed=1),
+            cell("tiny", TINY, seed=2),
+        ])
+        by_name = {r.spec.workload: r for r in sweep}
+        assert by_name["crashy"].status == STATUS_FAILED
+        assert by_name["crashy"].attempts == 2
+        assert by_name["tiny"].status == STATUS_OK
+        assert all(r.status == STATUS_OK
+                   for r in sweep if r.spec.workload == "tiny")
+
+    def test_timeout_kills_the_cell_and_surfaces_it(self):
+        sweep = SweepRunner(workers=2, timeout=1.0, retries=0).run([
+            cell("sleepy", SLEEPY, sleep_seconds=30.0),
+            cell("tiny", TINY),
+        ])
+        by_name = {r.spec.workload: r for r in sweep}
+        assert by_name["sleepy"].status == STATUS_TIMEOUT
+        assert "timeout" in by_name["sleepy"].error
+        assert by_name["tiny"].status == STATUS_OK
+        summary = sweep.summary()
+        assert summary["timeout"] == 1 and summary["simulated"] == 1
+        # The kill was prompt: nowhere near the 30s the cell wanted.
+        assert sweep.elapsed < 15.0
+
+    def test_timeout_is_retried_up_to_the_budget(self):
+        sweep = SweepRunner(workers=2, timeout=0.5, retries=1).run(
+            [cell("sleepy", SLEEPY, sleep_seconds=30.0)])
+        hung = next(iter(sweep))
+        assert hung.status == STATUS_TIMEOUT
+        assert hung.attempts == 2
+
+
+class TestRunnerValidation:
+    def test_bad_construction_args(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+        with pytest.raises(ValueError):
+            SweepRunner(retries=-1)
+
+    def test_duplicate_cells_run_once(self):
+        sweep = SweepRunner(workers=1).run(
+            [cell("tiny", TINY), cell("tiny", TINY)])
+        assert len(sweep) == 1

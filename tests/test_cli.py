@@ -98,9 +98,69 @@ class TestCommands:
         assert "Table II" in text
         assert "Table III" in text
 
-    def test_sweep(self):
-        code, text = run_cli(["sweep", "--workload", "astar", "--ops", "4000",
+    def test_policy_sweep(self):
+        code, text = run_cli(["policy-sweep", "--workload", "astar",
+                              "--ops", "4000",
                               "--param", "write_threshold", "--values", "1,8"])
         assert code == 0
         assert "write_threshold=1" in text
         assert "write_threshold=8" in text
+
+
+class TestSweepCommand:
+    def run_sweep(self, tmp_path, *extra):
+        return run_cli(["sweep", "--workloads", "astar", "--modes", "shadow",
+                        "--ops", "2000", "--cache-dir",
+                        str(tmp_path / "cache"), *extra])
+
+    def test_grid_runs_and_reports(self, tmp_path):
+        code, text = self.run_sweep(tmp_path)
+        assert code == 0
+        assert "Sweep results" in text
+        assert "astar" in text
+        assert "1 simulated, 0 cached" in text
+
+    def test_warm_cache_rerun_loads_not_simulates(self, tmp_path):
+        self.run_sweep(tmp_path)
+        code, text = self.run_sweep(tmp_path)
+        assert code == 0
+        assert "0 simulated, 1 cached" in text
+
+    def test_no_cache_flag(self, tmp_path):
+        self.run_sweep(tmp_path)
+        code, text = self.run_sweep(tmp_path, "--no-cache")
+        assert code == 0
+        assert "1 simulated, 0 cached" in text
+
+    def test_json_summary_inline(self, tmp_path):
+        import json as json_module
+
+        code, text = self.run_sweep(tmp_path, "--quiet", "--json", "-")
+        assert code == 0
+        payload = json_module.loads(text[text.index("{"):])
+        assert payload["cells"] == 1
+        assert payload["results"][0]["status"] in ("ok", "cached")
+
+    def test_json_summary_file(self, tmp_path):
+        import json as json_module
+
+        target = tmp_path / "summary.json"
+        code, _text = self.run_sweep(tmp_path, "--json", str(target))
+        assert code == 0
+        with open(target, encoding="utf-8") as handle:
+            assert json_module.load(handle)["cells"] == 1
+
+    def test_progress_lines(self, tmp_path):
+        code, text = self.run_sweep(tmp_path)
+        assert code == 0
+        assert "[1/1] astar/shadow/4K" in text
+
+    def test_rejects_unknown_names(self, tmp_path):
+        code, text = run_cli(["sweep", "--workloads", "doom", "--no-cache"])
+        assert code == 2 and "unknown workload" in text
+        code, text = run_cli(["sweep", "--modes", "paravirt", "--no-cache"])
+        assert code == 2 and "unknown mode" in text
+        code, text = run_cli(["sweep", "--page-sizes", "8K", "--no-cache"])
+        assert code == 2 and "unknown page size" in text
+        code, text = run_cli(["sweep", "--shard", "2/2", "--no-cache"])
+        assert code == 2 and "shard" in text
