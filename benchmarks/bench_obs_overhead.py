@@ -1,0 +1,94 @@
+"""Observability overhead: tracing off must be (nearly) free.
+
+The tracer's null-object contract says an instrumented simulator with
+``NULL_TRACER`` attached costs one attribute load and a branch per
+would-be event. This harness times three configurations of the same
+seeded workload —
+
+* **baseline**   — plain ``run_workload``, no observability arguments;
+* **tracing off** — an explicit ``attach_observability()`` with the
+  defaults (``NULL_TRACER``, no recorder), i.e. the instrumented hot
+  paths with every guard false;
+* **tracing on** — a full ``Tracer`` + ``IntervalRecorder``;
+
+and enforces the ISSUE acceptance bound: tracing-off wall time within
+2 % of baseline (with a small absolute floor so sub-millisecond timing
+jitter on tiny REPRO_OPS runs cannot flake the suite). Full tracing is
+reported for scale but has no bound — materializing an event per TLB
+probe is the price of the data.
+"""
+
+import time
+
+from repro.common.config import sandy_bridge_config
+from repro.core.machine import System
+from repro.core.simulator import Simulator
+from repro.obs import IntervalRecorder, Tracer
+from repro.workloads.suite import DedupLike
+from repro.analysis.tables import format_table
+
+from _util import DEFAULT_OPS, emit, pct, run_once
+
+#: Acceptance bound for tracing-off overhead (ISSUE: <= 2%).
+MAX_OFF_OVERHEAD = 0.02
+#: Jitter floor: differences under this many seconds are noise.
+ABS_FLOOR_SECONDS = 0.05
+#: Best-of-N timing to shed scheduler noise.
+TIMING_ROUNDS = 3
+
+
+def _timed_run(attach=None):
+    """Best-of-N wall time for one seeded dedup/agile run."""
+    best = None
+    result = None
+    for _ in range(TIMING_ROUNDS):
+        system = System(sandy_bridge_config(mode="agile"))
+        if attach is not None:
+            attach(system)
+        workload = DedupLike(seed=7, ops=DEFAULT_OPS)
+        begin = time.perf_counter()
+        metrics = Simulator(system).run(workload)
+        elapsed = time.perf_counter() - begin
+        if best is None or elapsed < best:
+            best, result = elapsed, metrics
+    return best, result
+
+
+def test_tracing_off_is_free(benchmark):
+    def measure():
+        baseline_s, baseline = _timed_run()
+        off_s, off = _timed_run(lambda s: s.attach_observability())
+        tracer, recorder = Tracer(), IntervalRecorder(every=1024)
+        on_s, on = _timed_run(
+            lambda s: s.attach_observability(tracer=tracer,
+                                             recorder=recorder))
+        return baseline_s, off_s, on_s, baseline, off, on
+
+    baseline_s, off_s, on_s, baseline, off, on = run_once(benchmark, measure)
+
+    def overhead(seconds):
+        return (seconds - baseline_s) / baseline_s
+
+    rows = [
+        ("baseline", "%.3f" % baseline_s, "—"),
+        ("tracing off (null tracer)", "%.3f" % off_s, pct(overhead(off_s))),
+        ("tracing on (full)", "%.3f" % on_s, pct(overhead(on_s))),
+    ]
+    text = format_table(
+        ("Configuration", "best-of-%d s" % TIMING_ROUNDS, "vs baseline"),
+        rows,
+        title=("Observability overhead — dedup/agile, %d ops "
+               "(acceptance: off <= %s)" % (DEFAULT_OPS,
+                                            pct(MAX_OFF_OVERHEAD))),
+    )
+    emit("obs_overhead", text)
+
+    # Instrumentation must never perturb results, on or off.
+    assert off.to_dict() == baseline.to_dict()
+    assert on.to_dict() == baseline.to_dict()
+
+    # The acceptance bound, with an absolute jitter floor.
+    assert (off_s - baseline_s <= ABS_FLOOR_SECONDS
+            or overhead(off_s) <= MAX_OFF_OVERHEAD), (
+        "tracing-off overhead %s exceeds %s"
+        % (pct(overhead(off_s)), pct(MAX_OFF_OVERHEAD)))

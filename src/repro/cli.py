@@ -11,12 +11,17 @@ Commands::
     sweep        run a (workloads x modes x page sizes) experiment grid
                  through the parallel runner: worker pool, on-disk result
                  cache, per-cell timeout/retry, deterministic sharding,
-                 progress lines, JSON summary
+                 progress lines, JSON summary, per-cell --trace-dir
     policy-sweep sweep one VMM policy knob and report the effect
+    trace        run one workload under the tracer; emit JSONL events
+                 and/or a Perfetto trace JSON
+    profile      run one workload and print its cycle flamegraph
     lint         run the project's static sanitizer over source trees
 
-Every command prints paper-style tables to stdout and exits non-zero on
-bad arguments, so the tool scripts cleanly.
+Every command prints paper-style tables to stdout; progress and
+diagnostic noise goes to stderr, so machine-readable output (``sweep
+--json -``, ``trace --events -``) pipes cleanly. Bad arguments exit
+non-zero.
 """
 
 import argparse
@@ -67,7 +72,7 @@ METRICS_HEADERS = ("workload", "mode", "page", "ops", "misses",
                    "refs/miss", "traps", "walk", "vmm")
 
 
-def cmd_list(_args, out):
+def cmd_list(_args, out, _err):
     from repro.analysis.tables import format_table
 
     rows = [(cls.name, PAPER_FOOTPRINTS[cls.name], "%d MB" % cls.footprint_mb,
@@ -78,7 +83,7 @@ def cmd_list(_args, out):
     return 0
 
 
-def cmd_run(args, out):
+def cmd_run(args, out, _err):
     from repro.analysis.tables import format_table
 
     cls = _workload_classes()[args.workload]
@@ -95,7 +100,7 @@ def cmd_run(args, out):
     return 0
 
 
-def cmd_compare(args, out):
+def cmd_compare(args, out, _err):
     from repro.analysis.tables import format_table
 
     cls = _workload_classes()[args.workload]
@@ -112,7 +117,7 @@ def cmd_compare(args, out):
     return 0
 
 
-def cmd_figure5(args, out):
+def cmd_figure5(args, out, _err):
     from repro.analysis.experiments import figure5, headline_claims
     from repro.analysis.plots import render_figure5
     from repro.analysis.tables import figure5_rows, format_table
@@ -132,7 +137,7 @@ def cmd_figure5(args, out):
     return 0
 
 
-def cmd_table6(args, out):
+def cmd_table6(args, out, _err):
     from repro.analysis.experiments import table6
     from repro.analysis.tables import format_table, table6_rows
 
@@ -144,7 +149,7 @@ def cmd_table6(args, out):
     return 0
 
 
-def cmd_tables(_args, out):
+def cmd_tables(_args, out, _err):
     from repro.analysis.experiments import table1_measurements, table2_measurements
     from repro.analysis.tables import format_table, table1_rows, table2_rows
     from repro.common.config import sandy_bridge_tlbs
@@ -167,8 +172,15 @@ def cmd_tables(_args, out):
     return 0
 
 
-def cmd_sweep(args, out):
-    """The parallel experiment runner: a grid of cells, fanned out."""
+def cmd_sweep(args, out, err):
+    """The parallel experiment runner: a grid of cells, fanned out.
+
+    Stream discipline: result tables and the inline JSON summary go to
+    ``out``; progress lines, failure reports, and the closing count line
+    go to ``err`` — so ``repro sweep --json - | jq .`` just works. With
+    ``--json -`` the human results table moves to ``err`` too, leaving
+    stdout pure JSON.
+    """
     import json
 
     from repro.analysis.tables import format_table
@@ -181,17 +193,17 @@ def cmd_sweep(args, out):
         names = args.workloads.split(",")
         unknown = [n for n in names if n not in classes]
         if unknown:
-            print("unknown workload(s): %s" % ", ".join(unknown), file=out)
+            print("unknown workload(s): %s" % ", ".join(unknown), file=err)
             return 2
     modes = args.modes.split(",")
     bad_modes = [m for m in modes if m not in EXTENDED_MODES]
     if bad_modes:
-        print("unknown mode(s): %s" % ", ".join(bad_modes), file=out)
+        print("unknown mode(s): %s" % ", ".join(bad_modes), file=err)
         return 2
     page_sizes = args.page_sizes.split(",")
     bad_sizes = [p for p in page_sizes if p not in PAGE_SIZES]
     if bad_sizes:
-        print("unknown page size(s): %s" % ", ".join(bad_sizes), file=out)
+        print("unknown page size(s): %s" % ", ".join(bad_sizes), file=err)
         return 2
 
     overrides = {}
@@ -215,7 +227,7 @@ def cmd_sweep(args, out):
     try:
         shard = parse_shard(args.shard) if args.shard else None
     except ValueError as exc:
-        print(str(exc), file=out)
+        print(str(exc), file=err)
         return 2
 
     cache = None
@@ -229,39 +241,44 @@ def cmd_sweep(args, out):
             return
         print("[%d/%d] %-28s %-7s (attempts=%d, %.2fs)" % (
             event["done"], event["total"], event["cell"], event["status"],
-            event["attempts"], event["elapsed"]), file=out)
+            event["attempts"], event["elapsed"]), file=err)
 
     runner = SweepRunner(workers=args.workers, cache=cache,
                          timeout=args.timeout, retries=args.retries,
-                         progress=progress)
+                         progress=progress, trace_dir=args.trace_dir)
     sweep = runner.run(cells, shard=shard)
 
+    # With --json - the table would corrupt the JSON stream; divert it.
+    table_stream = err if args.json == "-" else out
     rows = [_metrics_row(r.metrics) for r in sweep if r.succeeded]
     if rows:
         print(format_table(METRICS_HEADERS, rows, title="Sweep results"),
-              file=out)
+              file=table_stream)
     for result in sweep.failures():
         first_line = (result.error or "").splitlines()[0] if result.error else ""
         print("FAILED %s [%s after %d attempt(s)]: %s" % (
             result.spec.describe(), result.status, result.attempts,
-            first_line), file=out)
+            first_line), file=err)
     summary = sweep.summary()
     print("\n%d cells: %d simulated, %d cached, %d failed, %d timed out "
           "(%.2fs, workers=%d)" % (
               summary["cells"], summary["simulated"], summary["cached"],
               summary["failed"], summary["timeout"], summary["elapsed"],
-              args.workers), file=out)
+              args.workers), file=err)
+    if args.trace_dir:
+        traced = sum(1 for r in sweep if r.trace_path is not None)
+        print("%d trace payload(s) in %s" % (traced, args.trace_dir), file=err)
     if args.json:
         if args.json == "-":
             print(json.dumps(summary, indent=2, sort_keys=True), file=out)
         else:
             with open(args.json, "w", encoding="utf-8") as handle:
                 json.dump(summary, handle, indent=2, sort_keys=True)
-            print("summary written to %s" % args.json, file=out)
+            print("summary written to %s" % args.json, file=err)
     return 0 if not sweep.failures() else 1
 
 
-def cmd_policy_sweep(args, out):
+def cmd_policy_sweep(args, out, _err):
     from repro.analysis.tables import format_table
 
     cls = _workload_classes()[args.workload]
@@ -287,7 +304,76 @@ def cmd_policy_sweep(args, out):
     return 0
 
 
-def cmd_lint(args, out):
+def _traced_run(args):
+    """Run one workload under a tracer + recorder (trace/profile verbs)."""
+    from repro.obs import IntervalRecorder, Tracer
+
+    cls = _workload_classes()[args.workload]
+    config = _build_config(args)
+    tracer = Tracer()
+    recorder = IntervalRecorder(every=args.every)
+    system = System(config)
+    system.attach_observability(tracer, recorder)
+    kwargs = {"ops": args.ops, "page_size": config.page_size}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    metrics = Simulator(system).run(cls(**kwargs))
+    return metrics, tracer, recorder
+
+
+def cmd_trace(args, out, err):
+    """Capture one run's event stream; JSONL and/or Perfetto JSON out."""
+    from repro.obs import vmtrap_counts
+    from repro.obs.exporters import write_jsonl, write_perfetto
+
+    metrics, tracer, recorder = _traced_run(args)
+    if args.events == "-":
+        write_jsonl(tracer.events, out)
+    else:
+        with open(args.events, "w", encoding="utf-8") as handle:
+            count = write_jsonl(tracer.events, handle)
+        print("wrote %d events to %s" % (count, args.events), file=err)
+    if args.perfetto:
+        with open(args.perfetto, "w", encoding="utf-8") as handle:
+            count = write_perfetto(tracer.events, handle,
+                                   intervals=recorder.to_rows(),
+                                   label=args.workload)
+        print("wrote %d trace events to %s" % (count, args.perfetto),
+              file=err)
+    counts = vmtrap_counts(tracer.events)
+    print("%s/%s/%s: %d events, %d intervals, %d measured vmtraps" % (
+        args.workload, args.mode, args.page_size, len(tracer),
+        len(recorder), sum(counts.values())), file=err)
+    if counts != metrics.trap_counts:  # pragma: no cover - invariant
+        print("WARNING: trace vmtrap counts diverge from RunMetrics "
+              "(%r != %r)" % (counts, metrics.trap_counts), file=err)
+        return 1
+    return 0
+
+
+def cmd_profile(args, out, err):
+    """Run one workload and print its cycle-attribution flamegraph."""
+    from repro.obs.exporters import render_cycle_flame, write_perfetto
+
+    metrics, tracer, recorder = _traced_run(args)
+    print(render_cycle_flame(metrics), file=out)
+    if args.perfetto:
+        with open(args.perfetto, "w", encoding="utf-8") as handle:
+            count = write_perfetto(tracer.events, handle,
+                                   intervals=recorder.to_rows(),
+                                   label=args.workload)
+        print("wrote %d trace events to %s" % (count, args.perfetto),
+              file=err)
+    if args.events:
+        from repro.obs.exporters import write_jsonl
+
+        with open(args.events, "w", encoding="utf-8") as handle:
+            count = write_jsonl(tracer.events, handle)
+        print("wrote %d events to %s" % (count, args.events), file=err)
+    return 0
+
+
+def cmd_lint(args, out, _err):
     from repro.lint.runner import list_rules, run_lint
 
     if args.list_rules:
@@ -380,6 +466,43 @@ def build_parser():
     sweep_parser.add_argument("--paranoid", action="store_true",
                               help="validate coherence invariants during "
                                    "every cell")
+    sweep_parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                              help="capture per-cell telemetry: run every "
+                                   "simulated cell under the tracer and "
+                                   "write one trace payload per cell here")
+
+    def add_obs_parser(name, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("workload", choices=sorted(_workload_classes()),
+                       help="suite workload to run")
+        p.add_argument("--ops", type=int, default=60_000)
+        p.add_argument("--mode", choices=EXTENDED_MODES, default="agile")
+        p.add_argument("--page-size", choices=sorted(PAGE_SIZES), default="4K")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the workload's default seed")
+        p.add_argument("--every", type=int, default=1024,
+                       help="interval-sampling period in operations")
+        p.add_argument("--no-pwc", action="store_true",
+                       help="disable page-walk caches")
+        p.add_argument("--no-ad-assist", action="store_true")
+        p.add_argument("--no-cr3-cache", action="store_true")
+        p.add_argument("--paranoid", action="store_true")
+        return p
+
+    trace_parser = add_obs_parser(
+        "trace", "run one workload under the tracer; emit events")
+    trace_parser.add_argument("--events", default="-", metavar="PATH",
+                              help="JSONL event log destination "
+                                   "('-' = stdout, the default)")
+    trace_parser.add_argument("--perfetto", default=None, metavar="PATH",
+                              help="also write Chrome/Perfetto trace JSON")
+
+    profile_parser = add_obs_parser(
+        "profile", "run one workload; print its cycle flamegraph")
+    profile_parser.add_argument("--perfetto", default=None, metavar="PATH",
+                                help="also write Chrome/Perfetto trace JSON")
+    profile_parser.add_argument("--events", default=None, metavar="PATH",
+                                help="also write the JSONL event log")
 
     psweep_parser = sub.add_parser("policy-sweep", help="sweep a policy knob")
     psweep_parser.add_argument("--workload", choices=sorted(_workload_classes()),
@@ -411,15 +534,18 @@ COMMANDS = {
     "tables": cmd_tables,
     "sweep": cmd_sweep,
     "policy-sweep": cmd_policy_sweep,
+    "trace": cmd_trace,
+    "profile": cmd_profile,
     "lint": cmd_lint,
 }
 
 
-def main(argv=None, out=None):
+def main(argv=None, out=None, err=None):
     out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
     parser = build_parser()
     args = parser.parse_args(argv)
-    return COMMANDS[args.command](args, out)
+    return COMMANDS[args.command](args, out, err)
 
 
 if __name__ == "__main__":  # pragma: no cover

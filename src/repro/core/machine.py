@@ -20,6 +20,8 @@ from repro.guest.kernel import GuestKernel, GuestPlatform
 from repro.hw.mmu import MMU
 from repro.hw.walkstats import TranslationContext
 from repro.mem.physmem import PhysicalMemory
+from repro.obs.events import MARK_MEASUREMENT_START
+from repro.obs.tracer import NULL_TRACER
 from repro.vmm.vmm import VMM
 
 # How often (in operations) the periodic VMM policy work runs.
@@ -60,6 +62,28 @@ class System(GuestPlatform):
         self._epoch_ops = 0
         self._epoch_misses_base = 0
         self._measurement_start = 0
+        # Observability: null objects until attach_observability.
+        self.tracer = NULL_TRACER
+        self.recorder = None
+
+    def attach_observability(self, tracer=None, recorder=None):
+        """Install a tracer and/or interval recorder on the live system.
+
+        Threads the tracer into every instrumented component (MMU, page
+        walker, VMM trap accounting, per-process policies) and hooks the
+        recorder into the policy epoch so sampling adds no per-op work.
+        Idempotent; call any time after construction.
+        """
+        if tracer is not None:
+            self.tracer = tracer
+            self.mmu.tracer = tracer
+            self.mmu.clock = self.clock
+            self.mmu.walker.tracer = tracer
+            self.mmu.walker.clock = self.clock
+            if self.vmm is not None:
+                self.vmm.attach_tracer(tracer)
+        if recorder is not None:
+            self.recorder = recorder
 
     # -- GuestPlatform plumbing (kernel -> VMM/hardware) ----------------------
 
@@ -96,6 +120,10 @@ class System(GuestPlatform):
             self.mmu.invalidate_asid(proc.asid)
 
     def context_switch(self, old, new):
+        if self.tracer.enabled:
+            self.tracer.ctx_switch(self.clock.now,
+                                   old.pid if old is not None else None,
+                                   new.pid)
         if self.vmm is not None:
             self.vmm.context_switch(old, new)
 
@@ -183,11 +211,15 @@ class System(GuestPlatform):
     def _handle_guest_fault(self, proc, va, is_write):
         self.guest_fault_count += 1
         self.guest_fault_cycles += self.cost.guest_fault_cycles
+        if self.tracer.enabled:
+            self.tracer.guest_fault(self.clock.now, proc.pid, va, is_write)
         self.clock.advance(self.cost.guest_fault_cycles)
         self.kernel.handle_page_fault(proc, va, is_write)
 
     def _policy_epoch(self):
         self._epoch_ops = 0
+        if self.recorder is not None:
+            self.recorder.maybe_sample(self)
         if self.vmm is None:
             return
         misses = self.mmu.counters.tlb_misses
@@ -237,6 +269,10 @@ class System(GuestPlatform):
         if self.vmm is not None:
             self.vmm.traps.reset()
         self._measurement_start = self.clock.now
+        if self.tracer.enabled:
+            self.tracer.mark(self.clock.now, MARK_MEASUREMENT_START)
+        if self.recorder is not None:
+            self.recorder.note_reset(self)
 
     # -- invariant checking (paranoid mode) -------------------------------------------
 

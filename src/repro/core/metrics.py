@@ -21,6 +21,13 @@ TABLE6_COLUMNS = (
 )
 
 
+#: Version of the ``to_dict`` wire format. Bump on any change to its
+#: keys or value encodings; ``from_dict`` refuses payloads from other
+#: versions so a stale result cache or mixed-version worker pool fails
+#: loudly instead of silently misreading counters.
+METRICS_SCHEMA_VERSION = 1
+
+
 class RunMetrics:
     """Everything measured during one simulated run."""
 
@@ -122,6 +129,7 @@ class RunMetrics:
         ints with the :data:`NESTED_FULL` sentinel string.
         """
         return {
+            "schema_version": METRICS_SCHEMA_VERSION,
             "label": self.label,
             "mode": self.mode,
             "page_size": str(self.page_size),
@@ -150,8 +158,19 @@ class RunMetrics:
 
     @classmethod
     def from_dict(cls, data):
-        """Rebuild a :class:`RunMetrics` from its :meth:`to_dict` form."""
+        """Rebuild a :class:`RunMetrics` from its :meth:`to_dict` form.
+
+        Raises ``ValueError`` on an unknown ``schema_version`` — payloads
+        written before versioning (no key) are version 1.
+        """
         from repro.common.params import PAGE_SIZES
+
+        version = data.get("schema_version", 1)
+        if version != METRICS_SCHEMA_VERSION:
+            raise ValueError(
+                "RunMetrics payload has schema_version %r but this build "
+                "reads version %d; clear the result cache (or regenerate "
+                "the payload) and retry" % (version, METRICS_SCHEMA_VERSION))
 
         metrics = cls(data["label"], data["mode"], PAGE_SIZES[data["page_size"]])
         for name in (

@@ -85,7 +85,7 @@ class Simulator:
 
 
 def run_workload(workload, config=None, seed=None, rng=None, ops=None,
-                 **config_overrides):
+                 tracer=None, recorder=None, **config_overrides):
     """One-call convenience: build a system, run, return metrics.
 
     This is the primary public entry point::
@@ -93,6 +93,11 @@ def run_workload(workload, config=None, seed=None, rng=None, ops=None,
         from repro import run_workload, sandy_bridge_config
         metrics = run_workload(my_workload,
                                sandy_bridge_config(mode="agile"))
+
+    ``tracer``/``recorder`` (a :class:`repro.obs.Tracer` and
+    :class:`repro.obs.IntervalRecorder`) are attached to the built
+    system before the run, capturing its full event stream and interval
+    time-series alongside the returned metrics.
 
     ``workload`` may also be a workload *class*; it is then constructed
     here with the config's page size and, when given, ``ops`` and either
@@ -124,4 +129,6 @@ def run_workload(workload, config=None, seed=None, rng=None, ops=None,
             "constructed (pass them to its constructor instead)"
             % (type(workload).__name__,))
     system = System(config)
+    if tracer is not None or recorder is not None:
+        system.attach_observability(tracer=tracer, recorder=recorder)
     return Simulator(system).run(workload)

@@ -12,6 +12,7 @@ from repro.hw.pwc import PageWalkCache
 from repro.hw.tlbhierarchy import MultiSizeTLB
 from repro.hw.walker import PageWalker
 from repro.hw.walkstats import NESTED_FULL
+from repro.obs.tracer import NULL_TRACER
 
 
 class MMUCounters:
@@ -108,6 +109,11 @@ class MMU:
         # BadgerTrap analogue: when set, called as miss_hook(va, WalkResult)
         # after every successful page walk (i.e., every TLB miss).
         self.miss_hook = None
+        # Observability: a null object until System.attach_observability
+        # installs a real tracer; `clock` is set alongside it. Hot paths
+        # pay one attribute load + branch when tracing is off.
+        self.tracer = NULL_TRACER
+        self.clock = None
 
     def translate(self, ctx, va, is_write=False, kind="data"):
         """Translate ``va``; may raise a guest fault or VM exit.
@@ -116,12 +122,16 @@ class MMU:
         bits get set (and protection faults surface), mirroring x86.
         """
         entry, level = self.hierarchy.lookup(ctx.asid, va, kind)
+        tracer = self.tracer
         if entry is not None:
             if not is_write or (entry.writable and entry.dirty):
                 if level == "l1":
                     self.counters.tlb_hits_l1 += 1
                 else:
                     self.counters.tlb_hits_l2 += 1
+                if tracer.enabled:
+                    tracer.tlb_hit(self.clock.now if self.clock else 0,
+                                   level, ctx.asid)
                 return TranslationOutcome(entry.frame, level, None)
             self.counters.write_upgrades += 1
         self.walker.cached_refs = 0
@@ -135,6 +145,10 @@ class MMU:
         self.counters.walk_refs += result.refs
         if ctx.mode == "agile":
             self.counters.walks_by_depth[result.nested_levels] += 1
+        if tracer.enabled:
+            tracer.walk(self.clock.now if self.clock else 0, result.mode,
+                        result.refs, result.nested_levels, result.page_shift,
+                        ctx.asid)
         if self.miss_hook is not None:
             self.miss_hook(va, result)
         self.hierarchy.fill(ctx.asid, va, result.frame, result.writable,

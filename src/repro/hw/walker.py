@@ -34,6 +34,7 @@ from repro.common.params import (
 )
 from repro.hw.pwc import PWC_GUEST, PWC_NATIVE, PWC_SHADOW
 from repro.hw.walkstats import NESTED_FULL, WalkResult
+from repro.obs.tracer import NULL_TRACER
 
 
 def _frame_4k(pte, addr, level):
@@ -73,12 +74,21 @@ class PageWalker:
         # hits of the current walk (the MMU resets it per translation).
         self.pte_cache = None
         self.cached_refs = 0
+        # Observability: null object until System.attach_observability
+        # installs a tracer; probes of the walk-acceleration structures
+        # (PWCs, nested TLB) are emitted as `pwc` events.
+        self.tracer = NULL_TRACER
+        self.clock = None
 
     # -- low-level helpers -------------------------------------------------
 
     def _note(self, structure, level):
         if self.journal is not None:
             self.journal.append((structure, level))
+
+    def _probe(self, structure, hit):
+        """Trace one walk-accelerator probe (called only when tracing)."""
+        self.tracer.pwc(self.clock.now if self.clock else 0, structure, hit)
 
     def _touch(self, space, frame, index):
         """Classify one walk reference against the PTE data cache."""
@@ -107,6 +117,8 @@ class PageWalker:
         pwc_fills = []
         if self.host_pwc is not None:
             hit = self.host_pwc.lookup(0, addr)
+            if self.tracer.enabled:
+                self._probe("host_pwc", hit is not None)
             if hit is not None:
                 skipped, frame, _mode = hit
                 node = self._node(self.host_mem, frame, structure)
@@ -142,6 +154,8 @@ class PageWalker:
         pwc_fills = []
         if self.pwc is not None:
             hit = self.pwc.lookup(ctx.asid, va)
+            if self.tracer.enabled:
+                self._probe("pwc", hit is not None)
             if hit is not None:
                 skipped, frame, _mode = hit
                 node = self._node(self.host_mem, frame, "PT")
@@ -191,6 +205,8 @@ class PageWalker:
         """
         if self.nested_tlb is not None:
             hit = self.nested_tlb.lookup(gfn, is_write)
+            if self.tracer.enabled:
+                self._probe("nested_tlb", hit is not None)
             if hit is not None:
                 hfn, _writable, _dirty = hit
                 return hfn, 12, 0
@@ -245,6 +261,8 @@ class PageWalker:
         pwc_fills = []
         if self.pwc is not None:
             hit = self.pwc.lookup(ctx.asid, va)
+            if self.tracer.enabled:
+                self._probe("pwc", hit is not None)
             if hit is not None:
                 skipped, frame, mode = hit
                 if mode != PWC_GUEST:
@@ -324,6 +342,8 @@ class PageWalker:
         pwc_fills = []
         if self.pwc is not None:
             hit = self.pwc.lookup(ctx.asid, va)
+            if self.tracer.enabled:
+                self._probe("pwc", hit is not None)
             if hit is not None:
                 skipped, frame, mode = hit
                 start_level = ROOT_LEVEL - skipped

@@ -2,7 +2,8 @@
 
 Numbering: REPRO001 is reserved for parse errors (see engine.py);
 REPRO1xx are per-file hygiene/determinism rules; REPRO2xx are
-cross-module accounting contracts.
+cross-module accounting contracts; REPRO3xx are output-stream
+discipline rules.
 """
 
 import ast
@@ -345,6 +346,39 @@ class TrapAccountingRule(ProjectRule):
                         "cost knob must price some trap kind" % field)
 
 
+class BarePrintRule(Rule):
+    """No bare ``print(...)`` in library code.
+
+    Library modules must never write to an ambient stdout: output goes
+    through an explicit stream (``print(..., file=out)``), which is what
+    lets the CLI keep machine-readable stdout separate from diagnostic
+    stderr. Only the CLI itself and the table renderer are presentation
+    layers; everything else under ``src/repro/`` must thread a stream.
+    """
+
+    rule_id = "REPRO301"
+    name = "bare-print"
+    description = ("library code must not call print() without an explicit "
+                   "file= stream (cli.py and analysis/tables.py exempt)")
+
+    EXEMPT_SUFFIXES = ("repro/cli.py", "repro/analysis/tables.py")
+
+    def check_file(self, source_file):
+        if any(source_file.endswith(suffix)
+               for suffix in self.EXEMPT_SUFFIXES):
+            return
+        for node in ast.walk(source_file.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"
+                    and not any(kw.arg == "file" for kw in node.keywords)):
+                yield self.finding(
+                    source_file, node,
+                    "bare `print(...)` writes to ambient stdout; pass an "
+                    "explicit stream (`print(..., file=out)`) or move the "
+                    "output to the CLI layer")
+
+
 class _FakeNode:
     """Location carrier for findings not tied to a single AST node."""
 
@@ -361,4 +395,5 @@ DEFAULT_RULES = (
     BareExceptRule(),
     PolicyHooksRule(),
     TrapAccountingRule(),
+    BarePrintRule(),
 )

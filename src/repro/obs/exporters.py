@@ -1,0 +1,228 @@
+"""Trace exporters: JSONL, Chrome/Perfetto trace JSON, cycle flamegraph.
+
+Three output formats, one event stream:
+
+* :func:`write_jsonl` / :func:`load_jsonl` — one canonical JSON object
+  per line (sorted keys, no whitespace). Byte-identical for identical
+  runs, which is what the trace-determinism differential test asserts.
+* :func:`perfetto_trace` / :func:`write_perfetto` — the Chrome Trace
+  Event format that ``chrome://tracing`` and https://ui.perfetto.dev
+  load directly. VMtraps become complete ("X") slices with their cycle
+  cost as the duration; walks, policy decisions, context switches,
+  faults and marks become instants ("i"); interval samples become
+  counter ("C") tracks. One simulated cycle maps to one microsecond of
+  trace time.
+* :func:`render_cycle_flame` — a flamegraph-style text attribution of a
+  run's cycles: where did the time beyond ideal execution go, VMM time
+  split per trap kind, walks split by degree of nesting.
+
+:func:`trace_payload` bundles events + intervals into the JSON-safe
+dict the sweep runner ships from worker processes alongside the cell's
+metrics.
+"""
+
+import json
+
+from repro.obs.events import (
+    EV_CTX_SWITCH,
+    EV_GUEST_FAULT,
+    EV_MARK,
+    EV_POLICY,
+    EV_VMTRAP,
+    EV_WALK,
+    Event,
+)
+
+TRACE_PAYLOAD_SCHEMA = 1
+
+
+# -- JSONL --------------------------------------------------------------------
+
+def write_jsonl(events, stream):
+    """Write one canonical JSON line per event; returns the line count."""
+    count = 0
+    for event in events:
+        stream.write(event.to_json())
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def jsonl_bytes(events):
+    """The full JSONL stream as bytes (for hashing / equality checks)."""
+    return "".join(event.to_json() + "\n" for event in events).encode("utf-8")
+
+
+def load_jsonl(stream):
+    """Parse a JSONL event stream back into :class:`Event` objects."""
+    events = []
+    for line in stream:
+        line = line.strip()
+        if line:
+            events.append(Event.from_dict(json.loads(line)))
+    return events
+
+
+# -- Chrome / Perfetto trace JSON --------------------------------------------
+
+_INSTANT_KINDS = {
+    EV_WALK: "walk",
+    EV_POLICY: "policy",
+    EV_CTX_SWITCH: "ctx_switch",
+    EV_GUEST_FAULT: "guest_fault",
+    EV_MARK: "mark",
+}
+
+#: Interval-row fields exported as Perfetto counter tracks.
+_COUNTER_FIELDS = ("tlb_misses", "vmtraps", "vmm_cycles", "walk_cycles")
+
+
+def perfetto_trace(events, intervals=None, label="repro"):
+    """Build a Chrome Trace Event Format dict from an event stream.
+
+    The result is a plain dict; dump it with :func:`write_perfetto` or
+    ``json.dump``. Trap slices land on the "vmm" thread, instants on a
+    thread named after their kind, counters on their own tracks — so
+    the Perfetto timeline groups the streams the way the paper's cost
+    model does.
+    """
+    trace_events = []
+    for event in events:
+        if event.kind == EV_VMTRAP:
+            trace_events.append({
+                "name": event.data["trap"],
+                "cat": EV_VMTRAP,
+                "ph": "X",
+                "ts": event.ts,
+                "dur": event.dur,
+                "pid": 1,
+                "tid": "vmm",
+                "args": dict(event.data),
+            })
+        elif event.kind in _INSTANT_KINDS:
+            name = event.data.get("name") or event.data.get(
+                "direction") or event.data.get("mode") or event.kind
+            trace_events.append({
+                "name": name,
+                "cat": event.kind,
+                "ph": "i",
+                "s": "t",
+                "ts": event.ts,
+                "pid": 1,
+                "tid": _INSTANT_KINDS[event.kind],
+                "args": dict(event.data),
+            })
+        # TLB-hit / PWC probe instants are deliberately left out of the
+        # Perfetto view: they dominate the event count without adding
+        # timeline structure. They remain in the JSONL stream.
+    for row in intervals or ():
+        for field in _COUNTER_FIELDS:
+            if field in row:
+                trace_events.append({
+                    "name": field,
+                    "cat": "interval",
+                    "ph": "C",
+                    "ts": row["cycle"],
+                    "pid": 1,
+                    "args": {field: row[field]},
+                })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "label": label,
+            "time_unit": "1 trace us = 1 simulated cycle",
+        },
+    }
+
+
+def write_perfetto(events, stream, intervals=None, label="repro"):
+    """Dump the Perfetto trace JSON; returns the trace-event count."""
+    trace = perfetto_trace(events, intervals=intervals, label=label)
+    json.dump(trace, stream, sort_keys=True, separators=(",", ":"))
+    return len(trace["traceEvents"])
+
+
+# -- flamegraph-style cycle attribution ---------------------------------------
+
+_BAR_WIDTH = 24
+
+
+def _bar(fraction):
+    filled = int(round(_BAR_WIDTH * min(1.0, max(0.0, fraction))))
+    return "#" * filled + "." * (_BAR_WIDTH - filled)
+
+
+def _line(depth, name, cycles, total, extra=""):
+    frac = cycles / total if total else 0.0
+    label = "  " * depth + name
+    text = "%-26s %s %6.2f%% %14d" % (label, _bar(frac), 100 * frac, cycles)
+    if extra:
+        text += "  " + extra
+    return text
+
+
+def render_cycle_flame(metrics):
+    """Text flamegraph of one run's cycle attribution.
+
+    Rooted at total cycles, split the way the paper's Figure 5 splits
+    overheads — ideal execution, page walks (by degree of nesting), L2
+    TLB hit latency, VMM intervention (per trap kind), guest faults —
+    each with a share bar, percentage, and raw cycle count.
+    """
+    total = metrics.total_cycles or 1
+    lines = [
+        "cycle attribution — %s (%s, %s)" % (metrics.label, metrics.mode,
+                                             metrics.page_size),
+        _line(0, "total", metrics.total_cycles, total),
+        _line(1, "ideal", metrics.ideal_cycles, total),
+        _line(1, "page_walk", metrics.walk_cycles, total,
+              "%d walks" % metrics.tlb_misses),
+    ]
+    walks_total = sum(metrics.walks_by_depth.values())
+    for key, count in sorted(metrics.walks_by_depth.items(),
+                             key=lambda pair: str(pair[0])):
+        if not count:
+            continue
+        # Attribute walk cycles to depths proportionally by walk count;
+        # exact per-walk costs are in the event stream.
+        share = metrics.walk_cycles * count / walks_total if walks_total else 0
+        lines.append(_line(2, "depth=%s" % key, int(round(share)), total,
+                           "%d walks" % count))
+    lines.append(_line(1, "tlb_l2_hit", metrics.tlb_l2_cycles, total,
+                       "%d hits" % metrics.tlb_hits_l2))
+    lines.append(_line(1, "vmm", metrics.vmm_cycles, total,
+                       "%d traps" % metrics.vmtraps))
+    for kind in sorted(metrics.trap_cycles,
+                       key=lambda k: -metrics.trap_cycles[k]):
+        count = metrics.trap_counts.get(kind, 0)
+        cycles = metrics.trap_cycles[kind]
+        avg = cycles / count if count else 0.0
+        lines.append(_line(2, kind, cycles, total,
+                           "n=%d avg=%.0f" % (count, avg)))
+    lines.append(_line(1, "guest_fault", metrics.guest_fault_cycles, total,
+                       "%d faults" % metrics.guest_faults))
+    return "\n".join(lines)
+
+
+# -- sweep-runner payload -----------------------------------------------------
+
+def trace_payload(tracer, recorder=None):
+    """Bundle a tracer (+ optional interval recorder) for shipping.
+
+    The JSON-safe dict travels over the worker pipe next to the cell's
+    metrics and is written to ``--trace-dir`` by the sweep runner; the
+    serial path produces the identical structure, preserving the
+    serial == parallel guarantee for telemetry too.
+    """
+    return {
+        "schema": TRACE_PAYLOAD_SCHEMA,
+        "events": [event.as_dict() for event in tracer.events],
+        "intervals": recorder.to_rows() if recorder is not None else [],
+    }
+
+
+def payload_events(payload):
+    """Rebuild :class:`Event` objects from a :func:`trace_payload` dict."""
+    return [Event.from_dict(item) for item in payload.get("events", ())]

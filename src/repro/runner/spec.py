@@ -260,15 +260,30 @@ class CellSpec:
         return workload_cls(**kwargs)
 
 
-def execute_cell(spec):
+def execute_cell(spec, trace=False, trace_every=1024):
     """Run one cell from scratch; returns :class:`RunMetrics`.
 
     Used identically by the serial path and by pool workers, so a cell's
     result never depends on where it ran.
+
+    With ``trace=True`` the run is executed under a fresh tracer and
+    interval recorder (sampling every ``trace_every`` ops) and the
+    return value becomes ``(metrics, payload)``, where ``payload`` is
+    the JSON-safe :func:`repro.obs.exporters.trace_payload` bundle.
     """
     from repro.core.machine import System
     from repro.core.simulator import Simulator
 
     config = spec.build_config()
     workload = spec.build_workload(config)
-    return Simulator(System(config)).run(workload)
+    system = System(config)
+    if not trace:
+        return Simulator(system).run(workload)
+    from repro.obs import IntervalRecorder, Tracer
+    from repro.obs.exporters import trace_payload
+
+    tracer = Tracer()
+    recorder = IntervalRecorder(every=trace_every)
+    system.attach_observability(tracer, recorder)
+    metrics = Simulator(system).run(workload)
+    return metrics, trace_payload(tracer, recorder)

@@ -24,6 +24,8 @@ Timeouts are enforced only when cells run in child processes (parallel
 mode); the serial path cannot kill its own stack and documents that.
 """
 
+import json
+import os
 import time
 import traceback
 from collections import OrderedDict, deque
@@ -63,6 +65,9 @@ class CellResult:
     attempts: int = 0
     error: str = None
     elapsed: float = 0.0
+    # Path of the per-cell trace payload written under --trace-dir
+    # (None when tracing was off or the cell came from the cache).
+    trace_path: str = None
 
     @property
     def succeeded(self):
@@ -80,6 +85,8 @@ class CellResult:
             row["error"] = self.error
         if self.metrics is not None:
             row["metrics"] = self.metrics.summary()
+        if self.trace_path is not None:
+            row["trace"] = self.trace_path
         return row
 
 
@@ -176,22 +183,35 @@ def parse_shard(text):
     return k, n
 
 
-def _cell_child(spec, conn):
+def _cell_child(spec, conn, trace=False):
     """Child-process entry point: run one cell, ship the result back.
 
     Metrics travel as their ``to_dict()`` form — the same full-fidelity
     serialization the result cache uses — so the parent rebuilds them
     identically whether a cell was simulated here, serially, or loaded
-    from disk.
+    from disk. When tracing, the JSON-safe trace payload rides along as
+    a third tuple element; the parent writes it to disk, so trace files
+    are produced uniformly for serial and parallel sweeps.
     """
     try:
-        metrics = execute_cell(spec)
-        conn.send(("ok", metrics.to_dict()))
+        if trace:
+            metrics, payload = execute_cell(spec, trace=True)
+            conn.send(("ok", metrics.to_dict(), payload))
+        else:
+            metrics = execute_cell(spec)
+            conn.send(("ok", metrics.to_dict(), None))
     except BaseException as exc:  # report, never hang the parent
         conn.send(("error", "%s: %s\n%s" % (
             type(exc).__name__, exc, traceback.format_exc())))
     finally:
         conn.close()
+
+
+def _trace_filename(spec):
+    """Deterministic, filesystem-safe trace name for one cell."""
+    label = "".join(c if c.isalnum() or c in "._-" else "-"
+                    for c in spec.describe())
+    return "%s-%s.trace.json" % (label, spec.cell_key()[:8])
 
 
 @dataclass
@@ -209,11 +229,15 @@ class SweepRunner:
     or timeout (so every cell runs at most ``1 + retries`` times).
     ``progress`` is an optional callable receiving one dict per cell
     completion. ``timeout`` is per-attempt wall-clock seconds, enforced
-    in parallel mode by killing the child.
+    in parallel mode by killing the child. ``trace_dir``, when set,
+    runs every simulated cell under a tracer + interval recorder and
+    writes one ``<cell>.trace.json`` payload per cell into that
+    directory (cached cells are not re-simulated, so they get no trace).
     """
 
     def __init__(self, workers=1, cache=None, timeout=None, retries=1,
-                 mp_context=None, progress=None, poll_interval=0.01):
+                 mp_context=None, progress=None, poll_interval=0.01,
+                 trace_dir=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if retries < 0:
@@ -225,6 +249,7 @@ class SweepRunner:
         self.mp_context = mp_context
         self.progress = progress
         self.poll_interval = poll_interval
+        self.trace_dir = trace_dir
 
     # -- public ---------------------------------------------------------------
 
@@ -309,15 +334,29 @@ class SweepRunner:
         except (ImportError, OSError):
             return None
 
+    def _write_trace(self, spec, payload):
+        """Persist one cell's trace payload; returns its path (or None)."""
+        if self.trace_dir is None or payload is None:
+            return None
+        os.makedirs(self.trace_dir, exist_ok=True)
+        path = os.path.join(self.trace_dir, _trace_filename(spec))
+        with open(path, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        return path
+
     def _run_serial(self, cells, results):
         """In-process execution with retries (timeouts not enforceable)."""
+        tracing = self.trace_dir is not None
         for cell in cells:
             result = results[cell.cell_key()]
             while True:
                 result.attempts += 1
                 attempt_start = _wall_time()
                 try:
-                    metrics = execute_cell(cell)
+                    if tracing:
+                        metrics, payload = execute_cell(cell, trace=True)
+                    else:
+                        metrics, payload = execute_cell(cell), None
                 except Exception as exc:
                     result.elapsed += _wall_time() - attempt_start
                     result.error = "%s: %s\n%s" % (
@@ -329,6 +368,7 @@ class SweepRunner:
                 result.elapsed += _wall_time() - attempt_start
                 result.status = STATUS_OK
                 result.metrics = metrics
+                result.trace_path = self._write_trace(cell, payload)
                 break
             self._report(result, results)
 
@@ -342,7 +382,9 @@ class SweepRunner:
                     cell, attempt = pending.popleft()
                     recv, send = context.Pipe(duplex=False)
                     process = context.Process(
-                        target=_cell_child, args=(cell, send), daemon=True)
+                        target=_cell_child,
+                        args=(cell, send, self.trace_dir is not None),
+                        daemon=True)
                     process.start()
                     send.close()
                     live[cell.cell_key()] = (cell, _Attempt(
@@ -393,6 +435,8 @@ class SweepRunner:
 
                 result.status = STATUS_OK
                 result.metrics = RunMetrics.from_dict(outcome[1])
+                payload = outcome[2] if len(outcome) > 2 else None
+                result.trace_path = self._write_trace(cell, payload)
             else:
                 result.error = outcome[1]
                 if attempt.number <= self.retries:

@@ -18,6 +18,7 @@ Three decisions, exactly as the paper frames them:
   grace period with enough TLB-miss pressure to pay for shadowing.
 """
 
+from repro.obs.events import POLICY_PROMOTE, POLICY_TO_NESTED, POLICY_TO_SHADOW
 from repro.vmm.shadowmgr import NODE_NESTED, NODE_SHADOW
 
 
@@ -159,15 +160,32 @@ class ProcessPolicy:
         self.miss_rate_threshold = config.miss_rate_threshold
         self.switches_to_nested = 0
         self.reversions = 0
+        # Observability: set by VMM.attach_tracer; decisions become
+        # `policy` events when tracing.
+        self.tracer = None
+        self.pid = None
+
+    def attach_tracer(self, tracer, pid):
+        self.tracer = tracer
+        self.pid = pid
 
     def note_write(self, manager, node_gfn, now):
         switched = self.write_trigger.note_write(manager, node_gfn, now)
         if switched:
             self.switches_to_nested += 1
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                meta = manager.node_meta.get(node_gfn)
+                tracer.policy(now, POLICY_TO_NESTED, pid=self.pid,
+                              node=node_gfn,
+                              level=meta.level if meta is not None else None)
         return switched
 
     def tick(self, manager, hostpt, now, miss_rate_per_kop):
-        self.short_lived.tick(manager, now, miss_rate_per_kop)
+        promoted = self.short_lived.tick(manager, now, miss_rate_per_kop)
+        tracer = self.tracer
+        if promoted and tracer is not None and tracer.enabled:
+            tracer.policy(now, POLICY_PROMOTE, pid=self.pid)
         # Section III-C: "programs with very few TLB misses should use
         # nested paging for the whole address space, as shadow mode has
         # no benefit" — without miss pressure, leave nested parts alone.
@@ -175,4 +193,6 @@ class ProcessPolicy:
             return 0
         reverted = self.reversion.tick(manager, hostpt, now)
         self.reversions += reverted
+        if reverted and tracer is not None and tracer.enabled:
+            tracer.policy(now, POLICY_TO_SHADOW, pid=self.pid, count=reverted)
         return reverted

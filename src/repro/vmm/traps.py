@@ -40,15 +40,34 @@ HOST_SHARE = "host_share"
 
 
 class TrapStats:
-    """Counts (and attributed cycles) per trap kind."""
+    """Counts (and attributed cycles) per trap kind.
+
+    :meth:`record` is the single choke point every trap kind flows
+    through, which makes it the tracing instrumentation point too: when
+    a tracer and clock are attached (``attach_tracer``), every recorded
+    kind also becomes a ``vmtrap`` event — so per-kind event counts
+    equal ``RunMetrics.trap_counts`` by construction.
+    """
 
     def __init__(self):
         self.counts = {}
         self.cycles = {}
+        self._tracer = None
+        self._clock = None
+
+    def attach_tracer(self, tracer, clock):
+        """Mirror every future :meth:`record` into ``tracer``."""
+        self._tracer = tracer
+        self._clock = clock
 
     def record(self, kind, cycles=0):
         self.counts[kind] = self.counts.get(kind, 0) + 1
         self.cycles[kind] = self.cycles.get(kind, 0) + cycles
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            # record() runs before the clock advances by `cycles`, so
+            # `now` is the trap's begin timestamp and `cycles` its span.
+            tracer.vmtrap(self._clock.now, kind, cycles)
 
     def reset(self):
         """Zero all accounting (start of a measurement window)."""

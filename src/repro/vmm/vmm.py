@@ -18,6 +18,8 @@ from repro.guest.kernel import GuestPlatform
 from repro.hw.cr3cache import CR3Cache
 from repro.hw.walkstats import TranslationContext
 from repro.mem.pagetable import PageTableObserver
+from repro.obs.events import POLICY_SHSP_SWITCH
+from repro.obs.tracer import NULL_TRACER
 from repro.vmm import traps as T
 from repro.vmm.hostpt import HostPageTable
 from repro.vmm.invariants import InvariantChecker
@@ -85,6 +87,17 @@ class VMM(GuestPlatform):
         # called as pt_write_hook(node, leaf_va, now) on every mediated
         # guest page-table write.
         self.pt_write_hook = None
+        # Observability: null object until System.attach_observability
+        # installs a tracer (see attach_tracer).
+        self.tracer = NULL_TRACER
+
+    def attach_tracer(self, tracer):
+        """Thread ``tracer`` into trap accounting and per-process policies."""
+        self.tracer = tracer
+        self.traps.attach_tracer(tracer, self.clock)
+        for state in self.states.values():
+            if state.policy is not None:
+                state.policy.attach_tracer(tracer, state.pid)
 
     # -- cost plumbing --------------------------------------------------------
 
@@ -126,6 +139,8 @@ class VMM(GuestPlatform):
         )
         if self.mode == MODE_AGILE:
             state.policy = ProcessPolicy(self.config.policy)
+            if self.tracer.enabled:
+                state.policy.attach_tracer(self.tracer, pid)
         elif self.mode == MODE_SHSP:
             state.shsp = SHSPController(interval=self.config.policy.revert_interval)
         return GuestPTObserver(self, pid)
@@ -370,6 +385,10 @@ class VMM(GuestPlatform):
     def _shsp_switch(self, state, technique):
         """Move one whole process between the two constituent modes."""
         manager = state.manager
+        if self.tracer.enabled:
+            # `node` reuses its slot to carry the chosen technique name.
+            self.tracer.policy(self.clock.now, POLICY_SHSP_SWITCH,
+                               pid=state.pid, node=technique)
         self.mmu.flush_pwc()
         if technique == TECH_SHADOW:
             manager.enable_shadow_coverage()

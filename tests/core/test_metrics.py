@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.params import FOUR_KB
-from repro.core.metrics import RunMetrics
+from repro.core.metrics import METRICS_SCHEMA_VERSION, RunMetrics
 from repro.hw.walkstats import NESTED_FULL
 
 
@@ -67,6 +67,35 @@ class TestMixAndRates:
                                             "context_switch": 2})
         assert metrics.vmtraps == 7  # ad_assist is hardware, not a trap
 
+class TestSchemaVersion:
+    def test_to_dict_stamps_current_version(self):
+        payload = make_metrics(ops=100).to_dict()
+        assert payload["schema_version"] == METRICS_SCHEMA_VERSION
+
+    def test_round_trip_preserves_fields(self):
+        metrics = make_metrics(ops=100, ideal_cycles=200, tlb_misses=4,
+                               trap_counts={"pt_write": 3})
+        again = RunMetrics.from_dict(metrics.to_dict())
+        assert again.to_dict() == metrics.to_dict()
+
+    def test_unknown_version_rejected_with_clear_error(self):
+        payload = make_metrics(ops=100).to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError) as excinfo:
+            RunMetrics.from_dict(payload)
+        message = str(excinfo.value)
+        assert "schema_version" in message
+        assert "99" in message
+        assert "cache" in message  # tells the user how to recover
+
+    def test_missing_version_treated_as_v1(self):
+        """Payloads cached before the key existed still load."""
+        payload = make_metrics(ops=100).to_dict()
+        del payload["schema_version"]
+        assert RunMetrics.from_dict(payload).ops == 100
+
+
+class TestMixAndRatesSummary:
     def test_summary_round_trips(self):
         metrics = make_metrics(ops=100, ideal_cycles=200, walk_cycles=50,
                                tlb_misses=4, walk_refs=16)

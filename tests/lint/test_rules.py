@@ -192,3 +192,35 @@ class TestTrapAccounting:
     def test_no_traps_module_means_no_findings(self, tmp_path):
         findings = lint_sources(tmp_path, {"plain.py": "x = 1\n"})
         assert findings == []
+
+
+class TestBarePrint:
+    def test_flags_bare_print_in_library_code(self, tmp_path):
+        findings = lint_sources(tmp_path, {"repro/obs/tracer.py": (
+            "def dump(events):\n"
+            "    print(len(events))\n"
+        )})
+        assert rule_ids(findings) == ["REPRO301"]
+        assert "stdout" in findings[0].message
+
+    def test_explicit_stream_is_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {"repro/obs/exporters.py": (
+            "def dump(events, out):\n"
+            "    print(len(events), file=out)\n"
+        )})
+        assert findings == []
+
+    def test_cli_and_tables_are_exempt(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "repro/cli.py": "print('usage: repro <command>')\n",
+            "repro/analysis/tables.py": "print('Table I')\n",
+        })
+        assert findings == []
+
+    def test_shadowed_print_attribute_is_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {"repro/runner/sweep.py": (
+            "class Reporter:\n"
+            "    def emit(self, msg):\n"
+            "        self.printer.print(msg)\n"
+        )})
+        assert findings == []

@@ -1,0 +1,127 @@
+"""Tests for the JSONL / Perfetto / flamegraph exporters."""
+
+import io
+import json
+
+from repro.core.simulator import run_workload
+from repro.obs import EV_VMTRAP, IntervalRecorder, Tracer
+from repro.obs.exporters import (
+    jsonl_bytes,
+    load_jsonl,
+    payload_events,
+    perfetto_trace,
+    render_cycle_flame,
+    trace_payload,
+    write_jsonl,
+    write_perfetto,
+)
+from repro.workloads.suite import AstarLike, DedupLike
+
+
+def traced_run(cls=AstarLike, seed=3, ops=6000, mode="agile"):
+    tracer = Tracer()
+    recorder = IntervalRecorder(every=1024)
+    metrics = run_workload(cls, seed=seed, ops=ops, mode=mode,
+                           tracer=tracer, recorder=recorder)
+    return metrics, tracer, recorder
+
+
+class TestJsonl:
+    def test_write_and_load_round_trip(self):
+        _metrics, tracer, _recorder = traced_run()
+        stream = io.StringIO()
+        count = write_jsonl(tracer.events, stream)
+        assert count == len(tracer)
+        loaded = load_jsonl(io.StringIO(stream.getvalue()))
+        assert len(loaded) == len(tracer)
+        for original, again in zip(tracer.events, loaded):
+            assert original.as_dict() == again.as_dict()
+
+    def test_bytes_matches_stream(self):
+        _metrics, tracer, _recorder = traced_run()
+        stream = io.StringIO()
+        write_jsonl(tracer.events, stream)
+        assert jsonl_bytes(tracer.events) == stream.getvalue().encode("utf-8")
+
+    def test_every_line_is_json(self):
+        _metrics, tracer, _recorder = traced_run(ops=3000)
+        for line in jsonl_bytes(tracer.events).decode("utf-8").splitlines():
+            payload = json.loads(line)
+            assert set(payload) == {"kind", "ts", "dur", "data"}
+
+
+class TestPerfetto:
+    def test_structure(self):
+        _metrics, tracer, recorder = traced_run(cls=DedupLike, seed=7)
+        trace = perfetto_trace(tracer.events, intervals=recorder.to_rows(),
+                               label="dedup")
+        assert {"traceEvents", "displayTimeUnit", "otherData"} <= set(trace)
+        assert trace["otherData"]["label"] == "dedup"
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert phases <= {"X", "i", "C"}
+
+    def test_vmtraps_become_complete_slices(self):
+        _metrics, tracer, _recorder = traced_run(cls=DedupLike, seed=7,
+                                                 mode="shadow")
+        trace = perfetto_trace(tracer.events)
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        vmtraps = [e for e in tracer if e.kind == EV_VMTRAP]
+        assert len(slices) == len(vmtraps)
+        for entry in slices:
+            assert entry["tid"] == "vmm"
+            assert "dur" in entry
+
+    def test_counters_from_intervals(self):
+        _metrics, tracer, recorder = traced_run()
+        trace = perfetto_trace(tracer.events, intervals=recorder.to_rows())
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert {e["name"] for e in counters} <= {
+            "tlb_misses", "vmtraps", "vmm_cycles", "walk_cycles"}
+
+    def test_write_is_valid_json(self):
+        _metrics, tracer, recorder = traced_run(ops=3000)
+        stream = io.StringIO()
+        count = write_perfetto(tracer.events, stream,
+                               intervals=recorder.to_rows())
+        trace = json.loads(stream.getvalue())
+        assert len(trace["traceEvents"]) == count
+
+
+class TestFlamegraph:
+    def test_renders_all_sections(self):
+        metrics, _tracer, _recorder = traced_run(cls=DedupLike, seed=7,
+                                                 mode="shadow")
+        text = render_cycle_flame(metrics)
+        for section in ("total", "ideal", "page_walk", "tlb_l2_hit",
+                        "vmm", "guest_fault", "cycle attribution"):
+            assert section in text
+
+    def test_shares_bounded(self):
+        metrics, _tracer, _recorder = traced_run()
+        for line in render_cycle_flame(metrics).splitlines()[1:]:
+            percent = float(line.split("%")[0].split()[-1])
+            assert 0.0 <= percent <= 100.0
+
+    def test_handles_empty_metrics(self):
+        from repro.core.metrics import RunMetrics
+
+        text = render_cycle_flame(RunMetrics("empty", "native", "4K"))
+        assert "total" in text
+
+
+class TestTracePayload:
+    def test_round_trip(self):
+        _metrics, tracer, recorder = traced_run(ops=3000)
+        payload = trace_payload(tracer, recorder)
+        assert payload["schema"] == 1
+        assert json.loads(json.dumps(payload)) == payload  # JSON-safe
+        events = payload_events(payload)
+        assert len(events) == len(tracer)
+        assert events[0].as_dict() == tracer.events[0].as_dict()
+        assert payload["intervals"] == recorder.to_rows()
+
+    def test_without_recorder(self):
+        _metrics, tracer, _recorder = traced_run(ops=3000)
+        payload = trace_payload(tracer)
+        assert payload["intervals"] == []

@@ -1,0 +1,202 @@
+"""Tests for the tracer and the typed event taxonomy."""
+
+from repro.common.config import sandy_bridge_config
+from repro.core.machine import System
+from repro.core.simulator import Simulator, run_workload
+from repro.hw.walkstats import NESTED_FULL
+from repro.obs import (
+    ALL_EVENT_KINDS,
+    EV_CTX_SWITCH,
+    EV_GUEST_FAULT,
+    EV_MARK,
+    EV_PWC,
+    EV_TLB_HIT,
+    EV_VMTRAP,
+    EV_WALK,
+    MARK_MEASUREMENT_START,
+    NULL_TRACER,
+    Event,
+    NullTracer,
+    Tracer,
+    measured_events,
+    vmtrap_counts,
+)
+from repro.workloads.suite import AstarLike, DedupLike
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer.enabled is False
+
+    def test_all_emit_methods_are_noops(self):
+        NULL_TRACER.vmtrap(0, "pt_write", 10)
+        NULL_TRACER.walk(0, "agile", 4, 0, 12, 1)
+        NULL_TRACER.tlb_hit(0, "l1", 1)
+        NULL_TRACER.pwc(0, "pwc", True)
+        NULL_TRACER.policy(0, "shadow_to_nested")
+        NULL_TRACER.ctx_switch(0, 1, 2)
+        NULL_TRACER.guest_fault(0, 1, 0x1000, False)
+        NULL_TRACER.mark(0, "x")
+
+    def test_tracer_overrides_whole_interface(self):
+        """Every emit method of the null interface must be overridden,
+        so no Tracer call silently drops an event."""
+        emitters = [name for name in vars(NullTracer)
+                    if not name.startswith("_") and name != "enabled"
+                    and callable(getattr(NullTracer, name))]
+        assert emitters
+        for name in emitters:
+            assert getattr(Tracer, name) is not getattr(NullTracer, name)
+
+    def test_default_components_hold_the_null(self):
+        system = System(sandy_bridge_config(mode="agile"))
+        assert system.tracer is NULL_TRACER
+        assert system.mmu.tracer is NULL_TRACER
+        assert system.mmu.walker.tracer is NULL_TRACER
+        assert system.vmm.tracer is NULL_TRACER
+
+
+class TestEvent:
+    def test_round_trip(self):
+        event = Event(EV_WALK, 123, 0, {"mode": "agile", "refs": 8})
+        again = Event.from_dict(event.as_dict())
+        assert again.kind == event.kind
+        assert again.ts == event.ts
+        assert again.dur == event.dur
+        assert again.data == event.data
+
+    def test_json_is_canonical(self):
+        a = Event(EV_VMTRAP, 5, 100, {"trap": "pt_write"})
+        b = Event(EV_VMTRAP, 5, 100, {"trap": "pt_write"})
+        assert a.to_json() == b.to_json()
+        assert "\n" not in a.to_json()
+        assert ": " not in a.to_json()  # compact separators
+
+    def test_stable_shape(self):
+        payload = Event(EV_MARK, 0).as_dict()
+        assert set(payload) == {"kind", "ts", "dur", "data"}
+
+
+class TestTracedRun:
+    def run_traced(self, mode="agile", ops=6000, cls=AstarLike, seed=3):
+        tracer = Tracer()
+        metrics = run_workload(cls, seed=seed, ops=ops, mode=mode,
+                               tracer=tracer)
+        return metrics, tracer
+
+    def test_emits_known_kinds_only(self):
+        _metrics, tracer = self.run_traced()
+        kinds = {event.kind for event in tracer}
+        assert kinds <= set(ALL_EVENT_KINDS)
+        assert EV_WALK in kinds
+        assert EV_TLB_HIT in kinds
+        assert EV_PWC in kinds
+
+    def test_walk_events_match_tlb_misses(self):
+        metrics, tracer = self.run_traced()
+        walks = [e for e in measured_events(tracer.events)
+                 if e.kind == EV_WALK]
+        assert len(walks) == metrics.tlb_misses
+
+    def test_walk_depth_serializes_sentinel(self):
+        _metrics, tracer = self.run_traced(mode="nested")
+        depths = {e.data["depth"] for e in tracer if e.kind == EV_WALK}
+        assert depths <= {str(NESTED_FULL), "0", "1", "2", "3", "4"}
+
+    def test_measurement_mark_present(self):
+        _metrics, tracer = self.run_traced()
+        marks = [e for e in tracer if e.kind == EV_MARK]
+        assert any(e.data["name"] == MARK_MEASUREMENT_START for e in marks)
+
+    def test_guest_faults_traced(self):
+        _metrics, tracer = self.run_traced(cls=DedupLike, seed=7)
+        faults = [e for e in tracer if e.kind == EV_GUEST_FAULT]
+        assert faults
+        for event in faults[:10]:
+            assert set(event.data) == {"pid", "va", "write"}
+
+    def test_ctx_switch_traced(self):
+        _metrics, tracer = self.run_traced(cls=DedupLike, seed=7)
+        switches = [e for e in tracer if e.kind == EV_CTX_SWITCH]
+        assert switches
+        assert all("new" in e.data for e in switches)
+
+    def test_timestamps_monotonic(self):
+        _metrics, tracer = self.run_traced()
+        stamps = [event.ts for event in tracer]
+        assert all(a <= b for a, b in zip(stamps, stamps[1:]))
+
+    def test_metrics_unchanged_by_tracing(self):
+        traced, _tracer = self.run_traced()
+        untraced = run_workload(AstarLike, seed=3, ops=6000, mode="agile")
+        assert traced.to_dict() == untraced.to_dict()
+
+    def test_clear(self):
+        _metrics, tracer = self.run_traced()
+        assert len(tracer) > 0
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestVmtrapConsistency:
+    """ISSUE acceptance: per-kind vmtrap event counts equal
+    RunMetrics.trap_counts for the same workload + seed."""
+
+    def test_dedup_agile_nonzero_window(self):
+        tracer = Tracer()
+        metrics = run_workload(DedupLike, seed=7, ops=30_000, mode="agile",
+                               tracer=tracer)
+        counts = vmtrap_counts(tracer.events)
+        assert sum(metrics.trap_counts.values()) > 0  # non-trivial check
+        assert counts == metrics.trap_counts
+
+    def test_full_stream_covers_warmup_traps(self):
+        tracer = Tracer()
+        metrics = run_workload(DedupLike, seed=7, ops=8000, mode="shadow",
+                               tracer=tracer)
+        whole_run = vmtrap_counts(tracer.events, measured_only=False)
+        # Warmup produced traps the measured window did not.
+        assert sum(whole_run.values()) > sum(metrics.trap_counts.values())
+
+    def test_shadow_and_shsp_modes(self):
+        for mode in ("shadow", "shsp"):
+            tracer = Tracer()
+            metrics = run_workload(DedupLike, seed=7, ops=8000, mode=mode,
+                                   tracer=tracer)
+            assert vmtrap_counts(tracer.events) == metrics.trap_counts
+
+    def test_vmtrap_durations_sum_to_trap_cycles(self):
+        tracer = Tracer()
+        metrics = run_workload(DedupLike, seed=7, ops=30_000, mode="agile",
+                               tracer=tracer)
+        cycles = {}
+        for event in measured_events(tracer.events):
+            if event.kind == EV_VMTRAP:
+                kind = event.data["trap"]
+                cycles[kind] = cycles.get(kind, 0) + event.dur
+        assert cycles == metrics.trap_cycles
+
+
+class TestAttachObservability:
+    def test_attach_after_process_creation(self):
+        """A tracer attached to a live system still reaches the
+        per-process policies created before it."""
+        system = System(sandy_bridge_config(mode="agile"))
+        simulator = Simulator(system)
+        workload = AstarLike(seed=3, ops=4000)
+        tracer = Tracer()
+        system.attach_observability(tracer)
+        assert system.vmm.traps._tracer is tracer
+        simulator.run(workload)
+        assert len(tracer) > 0
+
+    def test_attach_recorder_only(self):
+        from repro.obs import IntervalRecorder
+
+        system = System(sandy_bridge_config(mode="agile"))
+        recorder = IntervalRecorder(every=512)
+        system.attach_observability(recorder=recorder)
+        assert system.tracer is NULL_TRACER  # tracing stays off
+        Simulator(system).run(AstarLike(seed=3, ops=4000))
+        assert len(recorder) > 0

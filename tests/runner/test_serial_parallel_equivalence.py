@@ -74,6 +74,49 @@ class TestSerialParallelEquivalence:
                     == parallel.metrics_for(cell).to_dict())
 
 
+class TestTraceDeterminism:
+    """Telemetry rides the same differential guarantee as metrics:
+    the trace payload a cell produces is byte-identical whether the
+    cell ran in-process or in a pool worker."""
+
+    TRACE_CELLS = [
+        CellSpec.make("mcf", mode="agile", ops=2_500),
+        CellSpec.make("gcc", mode="shadow", ops=2_500),
+    ]
+
+    def run_traced(self, tmp_path, workers, tag):
+        trace_dir = tmp_path / tag
+        sweep = (SweepRunner(workers=workers, trace_dir=str(trace_dir))
+                 .run(self.TRACE_CELLS).raise_on_failure())
+        files = {}
+        for result in sweep:
+            assert result.trace_path, result.spec.describe()
+            with open(result.trace_path, "rb") as handle:
+                files[result.spec.cell_key()] = handle.read()
+        return files
+
+    def test_trace_files_bit_identical_serial_vs_parallel(self, tmp_path):
+        serial = self.run_traced(tmp_path, 1, "serial")
+        parallel = self.run_traced(tmp_path, PARALLEL_WORKERS, "parallel")
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert serial[key] == parallel[key], key
+
+    def test_trace_jsonl_bit_identical_across_paths(self, tmp_path):
+        """The exported JSONL event stream — not just the container
+        payload — is byte-for-byte stable across execution paths."""
+        import json
+
+        from repro.obs.exporters import jsonl_bytes, payload_events
+
+        serial = self.run_traced(tmp_path, 1, "s2")
+        parallel = self.run_traced(tmp_path, PARALLEL_WORKERS, "p2")
+        for key in serial:
+            a = jsonl_bytes(payload_events(json.loads(serial[key])))
+            b = jsonl_bytes(payload_events(json.loads(parallel[key])))
+            assert a == b, key
+
+
 class TestDeterministicSharding:
     def test_shards_partition_the_cells(self):
         shards = shard_cells(MATRIX, 3)

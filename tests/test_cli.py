@@ -8,9 +8,16 @@ from repro.cli import build_parser, main
 
 
 def run_cli(argv):
-    out = io.StringIO()
-    code = main(argv, out=out)
-    return code, out.getvalue()
+    """Run the CLI; returns (exit_code, stdout_text). Stderr discarded."""
+    code, out_text, _err_text = run_cli_streams(argv)
+    return code, out_text
+
+
+def run_cli_streams(argv):
+    """Run the CLI capturing both streams: (code, stdout, stderr)."""
+    out, err = io.StringIO(), io.StringIO()
+    code = main(argv, out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
 
 
 class TestParser:
@@ -109,58 +116,151 @@ class TestCommands:
 
 class TestSweepCommand:
     def run_sweep(self, tmp_path, *extra):
-        return run_cli(["sweep", "--workloads", "astar", "--modes", "shadow",
-                        "--ops", "2000", "--cache-dir",
-                        str(tmp_path / "cache"), *extra])
+        return run_cli_streams(["sweep", "--workloads", "astar",
+                                "--modes", "shadow", "--ops", "2000",
+                                "--cache-dir", str(tmp_path / "cache"),
+                                *extra])
 
     def test_grid_runs_and_reports(self, tmp_path):
-        code, text = self.run_sweep(tmp_path)
+        code, out_text, err_text = self.run_sweep(tmp_path)
         assert code == 0
-        assert "Sweep results" in text
-        assert "astar" in text
-        assert "1 simulated, 0 cached" in text
+        assert "Sweep results" in out_text
+        assert "astar" in out_text
+        assert "1 simulated, 0 cached" in err_text
 
     def test_warm_cache_rerun_loads_not_simulates(self, tmp_path):
         self.run_sweep(tmp_path)
-        code, text = self.run_sweep(tmp_path)
+        code, _out, err_text = self.run_sweep(tmp_path)
         assert code == 0
-        assert "0 simulated, 1 cached" in text
+        assert "0 simulated, 1 cached" in err_text
 
     def test_no_cache_flag(self, tmp_path):
         self.run_sweep(tmp_path)
-        code, text = self.run_sweep(tmp_path, "--no-cache")
+        code, _out, err_text = self.run_sweep(tmp_path, "--no-cache")
         assert code == 0
-        assert "1 simulated, 0 cached" in text
+        assert "1 simulated, 0 cached" in err_text
 
     def test_json_summary_inline(self, tmp_path):
         import json as json_module
 
-        code, text = self.run_sweep(tmp_path, "--quiet", "--json", "-")
+        code, out_text, _err = self.run_sweep(tmp_path, "--quiet",
+                                              "--json", "-")
         assert code == 0
-        payload = json_module.loads(text[text.index("{"):])
+        payload = json_module.loads(out_text[out_text.index("{"):])
         assert payload["cells"] == 1
         assert payload["results"][0]["status"] in ("ok", "cached")
+
+    def test_json_stdout_is_pure_even_with_progress(self, tmp_path):
+        """--json - must emit parseable JSON on stdout while progress
+        lines, the results table, and the count summary go to stderr."""
+        import json as json_module
+
+        code, out_text, err_text = self.run_sweep(tmp_path, "--json", "-")
+        assert code == 0
+        payload = json_module.loads(out_text)  # whole stream, not a slice
+        assert payload["cells"] == 1
+        assert "[1/1]" in err_text
+        assert "Sweep results" in err_text
+        assert "simulated" in err_text
 
     def test_json_summary_file(self, tmp_path):
         import json as json_module
 
         target = tmp_path / "summary.json"
-        code, _text = self.run_sweep(tmp_path, "--json", str(target))
+        code, _out, err_text = self.run_sweep(tmp_path, "--json", str(target))
         assert code == 0
+        assert "summary written" in err_text
         with open(target, encoding="utf-8") as handle:
             assert json_module.load(handle)["cells"] == 1
 
-    def test_progress_lines(self, tmp_path):
-        code, text = self.run_sweep(tmp_path)
+    def test_progress_lines_go_to_stderr(self, tmp_path):
+        code, out_text, err_text = self.run_sweep(tmp_path)
         assert code == 0
-        assert "[1/1] astar/shadow/4K" in text
+        assert "[1/1] astar/shadow/4K" in err_text
+        assert "[1/1]" not in out_text
+
+    def test_trace_dir_writes_cell_payloads(self, tmp_path):
+        import json as json_module
+
+        trace_dir = tmp_path / "traces"
+        code, _out, err_text = self.run_sweep(
+            tmp_path, "--no-cache", "--trace-dir", str(trace_dir))
+        assert code == 0
+        assert "1 trace payload(s)" in err_text
+        files = sorted(trace_dir.glob("*.trace.json"))
+        assert len(files) == 1
+        with open(files[0], encoding="utf-8") as handle:
+            payload = json_module.load(handle)
+        assert payload["schema"] == 1
+        assert payload["events"]
+        assert payload["intervals"]
 
     def test_rejects_unknown_names(self, tmp_path):
-        code, text = run_cli(["sweep", "--workloads", "doom", "--no-cache"])
+        code, _out, text = run_cli_streams(
+            ["sweep", "--workloads", "doom", "--no-cache"])
         assert code == 2 and "unknown workload" in text
-        code, text = run_cli(["sweep", "--modes", "paravirt", "--no-cache"])
+        code, _out, text = run_cli_streams(
+            ["sweep", "--modes", "paravirt", "--no-cache"])
         assert code == 2 and "unknown mode" in text
-        code, text = run_cli(["sweep", "--page-sizes", "8K", "--no-cache"])
+        code, _out, text = run_cli_streams(
+            ["sweep", "--page-sizes", "8K", "--no-cache"])
         assert code == 2 and "unknown page size" in text
-        code, text = run_cli(["sweep", "--shard", "2/2", "--no-cache"])
+        code, _out, text = run_cli_streams(
+            ["sweep", "--shard", "2/2", "--no-cache"])
         assert code == 2 and "shard" in text
+
+
+class TestTraceCommand:
+    def test_events_to_stdout(self):
+        import json as json_module
+
+        code, out_text, err_text = run_cli_streams(
+            ["trace", "astar", "--ops", "3000"])
+        assert code == 0
+        lines = [l for l in out_text.splitlines() if l]
+        assert lines
+        first = json_module.loads(lines[0])
+        assert set(first) == {"kind", "ts", "dur", "data"}
+        assert "events" in err_text
+
+    def test_events_to_file_and_perfetto(self, tmp_path):
+        import json as json_module
+
+        events = tmp_path / "out.jsonl"
+        perfetto = tmp_path / "out.json"
+        code, out_text, err_text = run_cli_streams(
+            ["trace", "astar", "--ops", "3000", "--events", str(events),
+             "--perfetto", str(perfetto)])
+        assert code == 0
+        assert out_text == ""  # everything went to files / stderr
+        assert events.stat().st_size > 0
+        with open(perfetto, encoding="utf-8") as handle:
+            trace = json_module.load(handle)
+        assert trace["traceEvents"]
+        assert "wrote" in err_text
+
+    def test_trace_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            run_cli_streams(["trace", "doom"])
+
+
+class TestProfileCommand:
+    def test_flamegraph_on_stdout(self):
+        code, out_text, _err = run_cli_streams(
+            ["profile", "astar", "--ops", "3000", "--mode", "shadow"])
+        assert code == 0
+        assert "cycle attribution" in out_text
+        assert "page_walk" in out_text
+        assert "vmm" in out_text
+
+    def test_perfetto_export(self, tmp_path):
+        import json as json_module
+
+        target = tmp_path / "prof.json"
+        code, _out, err_text = run_cli_streams(
+            ["profile", "astar", "--ops", "3000", "--perfetto", str(target)])
+        assert code == 0
+        assert "wrote" in err_text
+        with open(target, encoding="utf-8") as handle:
+            trace = json_module.load(handle)
+        assert {"traceEvents", "displayTimeUnit", "otherData"} <= set(trace)
