@@ -17,6 +17,10 @@ Commands::
                  and/or a Perfetto trace JSON
     profile      run one workload and print its cycle flamegraph
     lint         run the project's static sanitizer over source trees
+    fuzz         differential fuzzing: run seeded random guest histories
+                 through the cross-mode equivalence oracle (sharded over
+                 the runner pool), shrink failures to minimal reproducers,
+                 or --replay corpus cases
 
 Every command prints paper-style tables to stdout; progress and
 diagnostic noise goes to stderr, so machine-readable output (``sweep
@@ -32,6 +36,7 @@ from repro.common.config import EXTENDED_MODES, MODE_AGILE, sandy_bridge_config
 from repro.common.params import PAGE_SIZES
 from repro.core.machine import System
 from repro.core.simulator import Simulator
+from repro.fuzz.scenario import PROFILES
 from repro.workloads.suite import PAPER_FOOTPRINTS, SUITE
 
 
@@ -373,6 +378,134 @@ def cmd_profile(args, out, err):
     return 0
 
 
+def cmd_fuzz(args, out, err):
+    """Differential fuzzing: campaigns, and corpus replay.
+
+    Stream discipline matches ``sweep``: human-readable results go to
+    ``out`` (diverted to ``err`` under ``--json -`` so stdout stays pure
+    JSON); progress and diagnostics go to ``err``. Oracle mismatches
+    exit 1 and print the written reproducer path on stderr; bad
+    arguments exit 2.
+    """
+    import json
+
+    from repro.fuzz import (
+        FuzzCampaign,
+        iter_cases,
+        load_case,
+        replay_case,
+        specs_for,
+    )
+    from repro.runner import parse_shard
+
+    modes = args.modes.split(",")
+    bad_modes = [m for m in modes if m not in EXTENDED_MODES]
+    if bad_modes:
+        print("unknown mode(s): %s" % ", ".join(bad_modes), file=err)
+        return 2
+    page_sizes = args.page_sizes.split(",")
+    bad_sizes = [p for p in page_sizes if p not in PAGE_SIZES]
+    if bad_sizes:
+        print("unknown page size(s): %s" % ", ".join(bad_sizes), file=err)
+        return 2
+    try:
+        shard = parse_shard(args.shard) if args.shard else None
+    except ValueError as exc:
+        print(str(exc), file=err)
+        return 2
+
+    table_stream = err if args.json == "-" else out
+
+    def emit_json(summary):
+        if not args.json:
+            return
+        if args.json == "-":
+            print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(summary, handle, indent=2, sort_keys=True)
+            print("summary written to %s" % args.json, file=err)
+
+    # -- replay mode: re-judge committed reproducer cases --------------------
+    if args.replay or args.corpus:
+        cases = []
+        try:
+            for path in args.replay or ():
+                cases.append((path, load_case(path)))
+            for directory in args.corpus or ():
+                cases.extend(iter_cases(directory))
+        except (OSError, ValueError, KeyError) as exc:
+            print("cannot load case: %s" % exc, file=err)
+            return 2
+        failures = []
+        for path, case in cases:
+            verdict = replay_case(case)
+            if not args.quiet:
+                print("[replay] %-4s %s" % ("ok" if verdict.ok else "FAIL",
+                                            path), file=err)
+            if not verdict.ok:
+                failures.append((path, verdict))
+        for path, verdict in failures:
+            print("REPLAY FAILED %s: %s" % (path, verdict), file=err)
+        print("%d case(s) replayed, %d failed"
+              % (len(cases), len(failures)), file=table_stream)
+        emit_json({"schema": 1, "replayed": len(cases),
+                   "failed": len(failures),
+                   "failures": [{"case": path, "verdict": verdict.to_dict()}
+                                for path, verdict in failures]})
+        return 1 if failures else 0
+
+    # -- campaign mode -------------------------------------------------------
+    options = {"compare_every": args.compare_every,
+               "full_check_every": args.check_every}
+    if args.no_paranoid:
+        options["paranoid"] = False
+    if args.no_ad_assist:
+        options["hw_ad_assist"] = False
+    if args.no_cr3_cache:
+        options["hw_cr3_cache"] = False
+
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    specs = specs_for(seeds, args.ops, profile=args.profile,
+                      page_sizes=page_sizes, modes=modes, options=options)
+
+    def progress(event):
+        if args.quiet:
+            return
+        print("[%d/%d] %-36s %s (%.2fs)" % (
+            event["done"], event["total"], event["cell"], event["status"],
+            event["elapsed"]), file=err)
+
+    campaign = FuzzCampaign(
+        corpus_dir=args.corpus_out, workers=args.workers,
+        timeout=args.timeout, shrink_budget=args.shrink_budget,
+        do_shrink=not args.no_shrink, capture_traces=not args.no_traces,
+        time_budget=args.time_budget, progress=progress)
+    report = campaign.run(specs, shard=shard)
+
+    print("Fuzz campaign [%s, %s, %s]: %d case(s), %d clean, %d failed "
+          "(%.2fs%s)" % (args.profile, "+".join(modes),
+                         ",".join(page_sizes), report.cases, report.clean,
+                         len(report.failures), report.elapsed,
+                         ", time budget exhausted"
+                         if report.budget_exhausted else ""),
+          file=table_stream)
+    for failure in report.failures:
+        verdict = failure.verdict or {}
+        print("MISMATCH %s: %s at op %s (%s)" % (
+            failure.spec.describe(), verdict.get("check", "error"),
+            verdict.get("op_index"), verdict.get("detail",
+                                                 failure.error or "")),
+            file=err)
+        if failure.reproducer:
+            print("  reproducer (%d ops): %s"
+                  % (failure.shrunk_ops, failure.reproducer), file=err)
+        if failure.trace:
+            print("  obs trace: %s" % failure.trace, file=err)
+    emit_json(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_lint(args, out, _err):
     from repro.lint.runner import list_rules, run_lint
 
@@ -513,6 +646,59 @@ def build_parser():
                                         "revert_interval"))
     psweep_parser.add_argument("--values", default="1,2,4,8")
 
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="differential fuzzing: cross-mode equivalence oracle")
+    fuzz_parser.add_argument("--seeds", type=int, default=50,
+                             help="number of scenario seeds to run")
+    fuzz_parser.add_argument("--seed-base", type=int, default=0,
+                             help="first seed (scenarios use seed-base..+seeds)")
+    fuzz_parser.add_argument("--ops", type=int, default=300,
+                             help="guest ops per scenario")
+    fuzz_parser.add_argument("--profile", choices=sorted(PROFILES),
+                             default="default", help="scenario op-mix profile")
+    fuzz_parser.add_argument("--modes", default="native,nested,shadow,agile",
+                             help="comma-separated modes compared in lockstep")
+    fuzz_parser.add_argument("--page-sizes", default="4K",
+                             help="comma-separated page sizes (4K,2M)")
+    fuzz_parser.add_argument("--workers", type=int, default=1,
+                             help="worker processes (1 = in-process serial)")
+    fuzz_parser.add_argument("--timeout", type=float, default=None,
+                             help="per-case timeout in seconds "
+                                  "(enforced when workers > 1)")
+    fuzz_parser.add_argument("--time-budget", type=float, default=None,
+                             help="stop dispatching new cases after this "
+                                  "many seconds")
+    fuzz_parser.add_argument("--corpus-out", default="fuzz-corpus",
+                             metavar="DIR",
+                             help="where shrunk reproducers + obs traces "
+                                  "are written")
+    fuzz_parser.add_argument("--replay", action="append", metavar="FILE",
+                             help="replay one corpus case (repeatable)")
+    fuzz_parser.add_argument("--corpus", action="append", metavar="DIR",
+                             help="replay every case in a corpus directory "
+                                  "(repeatable)")
+    fuzz_parser.add_argument("--no-shrink", action="store_true",
+                             help="record failing scenarios full-size")
+    fuzz_parser.add_argument("--shrink-budget", type=int, default=200,
+                             help="max oracle evaluations per shrink")
+    fuzz_parser.add_argument("--no-traces", action="store_true",
+                             help="skip obs trace capture for failures")
+    fuzz_parser.add_argument("--compare-every", type=int, default=1,
+                             help="op period of the fault-counter cross-check")
+    fuzz_parser.add_argument("--check-every", type=int, default=64,
+                             help="op period of the full invariant sweep")
+    fuzz_parser.add_argument("--no-paranoid", action="store_true",
+                             help="disable per-trap invariant checking")
+    fuzz_parser.add_argument("--no-ad-assist", action="store_true")
+    fuzz_parser.add_argument("--no-cr3-cache", action="store_true")
+    fuzz_parser.add_argument("--shard", default=None, metavar="K/N",
+                             help="run only deterministic shard K of N")
+    fuzz_parser.add_argument("--json", default=None, metavar="PATH",
+                             help="write the JSON summary to PATH ('-' to "
+                                  "print it)")
+    fuzz_parser.add_argument("--quiet", action="store_true",
+                             help="suppress per-case progress lines")
+
     lint_parser = sub.add_parser(
         "lint", help="run the project's static sanitizer")
     lint_parser.add_argument(
@@ -536,6 +722,7 @@ COMMANDS = {
     "policy-sweep": cmd_policy_sweep,
     "trace": cmd_trace,
     "profile": cmd_profile,
+    "fuzz": cmd_fuzz,
     "lint": cmd_lint,
 }
 

@@ -37,8 +37,12 @@ class System(GuestPlatform):
         self.clock = Clock()
         self.cost = config.cost
         if config.mode == MODE_NATIVE:
-            # Bare metal: one RAM serves the OS and its page tables.
-            ram = PhysicalMemory(config.host_mem_frames, "ram")
+            # Bare metal: one RAM serves the OS and its page tables. It is
+            # sized like the *guest* RAM of the virtualized modes — native
+            # is the same guest machine minus the VMM, so the OS must
+            # manage an identical frame pool (or frame-allocation order
+            # would diverge from the virtualized modes under pressure).
+            ram = PhysicalMemory(config.guest_mem_frames, "ram")
             self.guest_mem = ram
             self.host_mem = ram
         else:

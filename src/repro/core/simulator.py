@@ -62,13 +62,17 @@ class MachineAPI:
         """End setup/warmup: metrics describe steady state from here."""
         self.system.reset_counters()
 
+    def mprotect(self, va, size, writable, proc=None):
+        proc = proc if proc is not None else self.kernel.current
+        return self.kernel.mprotect(proc, va, size, writable)
+
     def dedup(self, va, size, group=2, proc=None):
         proc = proc if proc is not None else self.kernel.current
         return self.kernel.dedup_region(proc, va, size, group=group)
 
-    def reclaim(self, pages, proc=None):
+    def reclaim(self, pages, proc=None, precise_aging=False):
         proc = proc if proc is not None else self.kernel.current
-        return self.kernel.reclaim(proc, pages)
+        return self.kernel.reclaim(proc, pages, precise_aging=precise_aging)
 
 
 class Simulator:

@@ -1,0 +1,70 @@
+"""repro.fuzz: differential fuzzing and cross-mode equivalence checking.
+
+The simulator's adversarial correctness subsystem. A seeded generator
+(:mod:`~repro.fuzz.scenario`) emits random-but-replayable guest
+histories; a differential oracle (:mod:`~repro.fuzz.oracle`) replays
+each one on native/nested/shadow/agile machines in lockstep and
+cross-checks translations, guest-visible A/D bits, trap-count ordering
+relations, and the paranoid-mode invariant suite; failures are
+delta-debugged to minimal reproducers (:mod:`~repro.fuzz.shrink`) and
+persisted to a replayable corpus (:mod:`~repro.fuzz.corpus`). Campaigns
+fan cases across the sweep-runner pool (:mod:`~repro.fuzz.campaign`).
+
+CLI: ``repro fuzz --seeds 200 --ops 400`` / ``repro fuzz --replay case.json``.
+See docs/fuzzing.md.
+"""
+
+from repro.fuzz.campaign import (
+    CampaignReport,
+    FuzzCampaign,
+    FuzzCaseResult,
+    FuzzCaseSpec,
+    execute_fuzz_case,
+    specs_for,
+)
+from repro.fuzz.corpus import (
+    case_name,
+    iter_cases,
+    load_case,
+    make_case,
+    replay_case,
+    save_case,
+)
+from repro.fuzz.oracle import (
+    DEFAULT_MODES,
+    DifferentialOracle,
+    ScenarioRunner,
+    Verdict,
+    build_system,
+)
+from repro.fuzz.scenario import (
+    PROFILES,
+    Scenario,
+    ScenarioGenerator,
+)
+from repro.fuzz.shrink import ddmin, shrink
+
+__all__ = [
+    "CampaignReport",
+    "FuzzCampaign",
+    "FuzzCaseResult",
+    "FuzzCaseSpec",
+    "execute_fuzz_case",
+    "specs_for",
+    "case_name",
+    "iter_cases",
+    "load_case",
+    "make_case",
+    "replay_case",
+    "save_case",
+    "DEFAULT_MODES",
+    "DifferentialOracle",
+    "ScenarioRunner",
+    "Verdict",
+    "build_system",
+    "PROFILES",
+    "Scenario",
+    "ScenarioGenerator",
+    "ddmin",
+    "shrink",
+]

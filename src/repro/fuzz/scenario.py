@@ -1,0 +1,334 @@
+"""Seeded, serializable guest-history generator for differential fuzzing.
+
+A *scenario* is a flat program of guest operations — mmap/munmap/
+mprotect, demand touches, fork+COW, exec, context switches, reclaim
+pressure, dedup scans, policy-epoch settles — expressed entirely in
+terms of *slot indices* rather than PIDs or virtual addresses. The
+interpreter (:class:`repro.fuzz.oracle.ScenarioRunner`) resolves every
+index modulo the live process/region count, which makes every op
+applicable in every state: any subsequence of a scenario is itself a
+valid scenario. That totality is what lets the delta-debugger
+(:mod:`repro.fuzz.shrink`) drop ops freely while minimizing a failure.
+
+Generation is pure ``random.Random(seed)``: the same (seed, profile,
+ops) triple always yields the identical op list, on any platform, so a
+scenario can be named by those three values alone and regenerated
+anywhere. Scenarios also serialize to JSON for the reproducer corpus.
+
+Profiles bias the op mix toward the paper's pain points: ``churn``
+produces the leaf-heavy page-table update storms of Figure 2, ``bimodal``
+alternates write bursts with idle settles to force the agile policy
+back and forth across the shadow/nested boundary, ``fork_cow`` stresses
+the fork write-protect storm, ``ctx`` hammers CR3 writes (the Section IV
+gCR3-cache case), and ``reclaim`` ages and evicts under memory pressure.
+"""
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+
+SCENARIO_SCHEMA = 1
+
+# Registry caps shared with the interpreter: the generator never emits a
+# spawn/fork/mmap that its own model says would be skipped, but the
+# interpreter re-checks (shrinking may remove the ops that made room).
+MAX_PROCS = 6
+MAX_REGIONS = 12
+MAX_REGION_PAGES = 64
+MAX_BURST = 48
+
+OP_KINDS = (
+    "spawn", "exit", "exec", "switch", "mmap", "munmap", "protect",
+    "touch", "burst", "fork", "dedup", "reclaim", "settle", "flush",
+)
+
+_REGION_SIZES = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64)
+
+
+@dataclass(frozen=True)
+class Profile:
+    """An op-mix: weights per op kind plus parameter biases."""
+
+    name: str
+    weights: dict
+    write_bias: float = 0.5  # probability a touch/burst is a write
+    populate_bias: float = 0.3  # probability an mmap is eager
+    ro_bias: float = 0.15  # probability an mmap region is read-only
+    max_region_pages: int = MAX_REGION_PAGES
+
+    def weight(self, kind):
+        return self.weights.get(kind, 0)
+
+
+PROFILES = {
+    # Balanced traffic over every op kind.
+    "default": Profile("default", {
+        "spawn": 2, "exit": 1, "exec": 1, "switch": 4, "mmap": 8,
+        "munmap": 4, "protect": 3, "touch": 30, "burst": 8, "fork": 2,
+        "dedup": 2, "reclaim": 2, "settle": 3, "flush": 1,
+    }),
+    # Leaf-heavy PT churn: rapid map/unmap/populate cycling (Figure 2's
+    # "dynamic parts of the address space").
+    "churn": Profile("churn", {
+        "mmap": 20, "munmap": 14, "touch": 30, "burst": 6, "protect": 6,
+        "switch": 2, "settle": 2, "reclaim": 2, "spawn": 1, "exec": 1,
+    }, populate_bias=0.6, max_region_pages=32),
+    # Bimodal update bursts: long write storms then idle settles, the
+    # pattern that drives agile paging's shadow<->nested switching.
+    "bimodal": Profile("bimodal", {
+        "burst": 24, "settle": 10, "touch": 10, "mmap": 6, "munmap": 3,
+        "switch": 3, "protect": 2, "reclaim": 1,
+    }, write_bias=0.8, populate_bias=0.5),
+    # fork()+COW storms: write-protect sweeps and COW breaks.
+    "fork_cow": Profile("fork_cow", {
+        "fork": 8, "exit": 6, "exec": 2, "touch": 28, "burst": 6,
+        "mmap": 6, "munmap": 2, "switch": 4, "dedup": 3, "settle": 2,
+    }, write_bias=0.7, populate_bias=0.6, max_region_pages=16),
+    # Context-switch-heavy: many processes, constant CR3 traffic
+    # (exercises the Section IV gCR3 cache and per-ASID shadow state).
+    "ctx": Profile("ctx", {
+        "spawn": 6, "switch": 30, "touch": 20, "mmap": 6, "burst": 4,
+        "exit": 2, "fork": 2, "settle": 2, "flush": 2,
+    }, max_region_pages=16),
+    # Memory pressure: aging sweeps, evictions, refaults.
+    "reclaim": Profile("reclaim", {
+        "reclaim": 14, "touch": 26, "burst": 6, "mmap": 10, "munmap": 4,
+        "settle": 3, "switch": 3, "dedup": 2,
+    }, populate_bias=0.7, max_region_pages=32),
+}
+
+
+@dataclass
+class Scenario:
+    """One generated guest history, serializable and regenerable."""
+
+    seed: int
+    profile: str
+    ops: list = field(default_factory=list)
+    schema: int = SCENARIO_SCHEMA
+
+    @property
+    def name(self):
+        return "s%d-%s-%d" % (self.seed, self.profile, len(self.ops))
+
+    def with_ops(self, ops):
+        """A copy holding ``ops`` (used by the shrinker)."""
+        return replace(self, ops=list(ops))
+
+    def to_dict(self):
+        return {"schema": self.schema, "seed": self.seed,
+                "profile": self.profile, "ops": list(self.ops)}
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("schema") != SCENARIO_SCHEMA:
+            raise ValueError("unsupported scenario schema %r"
+                             % (data.get("schema"),))
+        return cls(seed=data["seed"], profile=data["profile"],
+                   ops=list(data["ops"]))
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+
+class _Model:
+    """The generator's mirror of the interpreter's registry.
+
+    Tracks only what generation needs: which slots exist, how big each
+    region is, and who owns it — enough to bias ops toward applicable
+    targets. The interpreter re-derives the same evolution from the op
+    list itself, so the two never need to communicate.
+    """
+
+    def __init__(self):
+        self._next_proc = 0
+        self.procs = [self._fresh()]
+        self.regions = []  # dicts: proc (token), pages, writable
+
+    def _fresh(self):
+        self._next_proc += 1
+        return self._next_proc
+
+    def proc_at(self, index):
+        return self.procs[index % len(self.procs)]
+
+    def spawn(self):
+        if len(self.procs) < MAX_PROCS:
+            self.procs.append(self._fresh())
+
+    def exit(self, index):
+        if len(self.procs) <= 1:
+            return
+        proc = self.procs.pop(index % len(self.procs))
+        self.regions = [r for r in self.regions if r["proc"] != proc]
+
+    def exec(self, index):
+        slot = index % len(self.procs)
+        old, new = self.procs[slot], self._fresh()
+        self.procs[slot] = new
+        self.regions = [r for r in self.regions if r["proc"] != old]
+
+    def fork(self, index):
+        if len(self.procs) >= MAX_PROCS:
+            return
+        parent = self.procs[index % len(self.procs)]
+        child = self._fresh()
+        self.procs.append(child)
+        for region in [r for r in self.regions if r["proc"] == parent]:
+            self.regions.append(dict(region, proc=child))
+
+    def mmap(self, index, pages, writable):
+        if len(self.regions) >= MAX_REGIONS:
+            return
+        self.regions.append({"proc": self.proc_at(index), "pages": pages,
+                             "writable": writable})
+
+    def munmap(self, index):
+        if self.regions:
+            self.regions.pop(index % len(self.regions))
+
+    def protect(self, index, writable):
+        if self.regions:
+            self.regions[index % len(self.regions)]["writable"] = writable
+
+    def region_at(self, index):
+        return self.regions[index % len(self.regions)]
+
+
+class ScenarioGenerator:
+    """Emits :class:`Scenario` programs for one profile.
+
+    Stateless across calls: ``generate(seed, ops)`` is a pure function
+    of its arguments, which is what lets fuzz campaigns name cases by
+    (seed, profile, ops) and regenerate them in worker processes.
+    """
+
+    def __init__(self, profile="default"):
+        if isinstance(profile, Profile):
+            self.profile = profile
+        else:
+            if profile not in PROFILES:
+                raise ValueError("unknown profile %r (have: %s)"
+                                 % (profile, ", ".join(sorted(PROFILES))))
+            self.profile = PROFILES[profile]
+
+    def generate(self, seed, ops):
+        rng = random.Random(seed)
+        model = _Model()
+        program = [self._emit(rng, model) for _ in range(ops)]
+        return Scenario(seed=seed, profile=self.profile.name, ops=program)
+
+    # -- internals ------------------------------------------------------------
+
+    def _emit(self, rng, model):
+        kind = self._pick_kind(rng, model)
+        build = getattr(self, "_op_" + kind)
+        return build(rng, model)
+
+    def _pick_kind(self, rng, model):
+        choices = []
+        total = 0
+        for kind in OP_KINDS:
+            weight = self.profile.weight(kind)
+            if weight <= 0 or not self._applicable(kind, model):
+                continue
+            total += weight
+            choices.append((total, kind))
+        if not choices:  # degenerate profile: fall back to touches
+            return "mmap" if not model.regions else "touch"
+        point = rng.random() * total
+        for bound, kind in choices:
+            if point < bound:
+                return kind
+        return choices[-1][1]
+
+    @staticmethod
+    def _applicable(kind, model):
+        if kind in ("spawn", "fork"):
+            return len(model.procs) < MAX_PROCS
+        if kind == "exit":
+            return len(model.procs) > 1
+        if kind == "mmap":
+            return len(model.regions) < MAX_REGIONS
+        if kind in ("munmap", "protect", "touch", "burst", "dedup"):
+            return bool(model.regions)
+        return True
+
+    # Op builders: each returns the JSON op and advances the model.
+
+    def _op_spawn(self, rng, model):
+        model.spawn()
+        return {"op": "spawn"}
+
+    def _op_exit(self, rng, model):
+        index = rng.randrange(len(model.procs))
+        model.exit(index)
+        return {"op": "exit", "proc": index}
+
+    def _op_exec(self, rng, model):
+        index = rng.randrange(len(model.procs))
+        model.exec(index)
+        return {"op": "exec", "proc": index}
+
+    def _op_switch(self, rng, model):
+        return {"op": "switch", "proc": rng.randrange(len(model.procs))}
+
+    def _op_mmap(self, rng, model):
+        index = rng.randrange(len(model.procs))
+        limit = self.profile.max_region_pages
+        pages = rng.choice([s for s in _REGION_SIZES if s <= limit])
+        writable = rng.random() >= self.profile.ro_bias
+        populate = rng.random() < self.profile.populate_bias
+        model.mmap(index, pages, writable)
+        return {"op": "mmap", "proc": index, "pages": pages,
+                "writable": writable, "populate": populate}
+
+    def _op_munmap(self, rng, model):
+        index = rng.randrange(len(model.regions))
+        model.munmap(index)
+        return {"op": "munmap", "region": index}
+
+    def _op_protect(self, rng, model):
+        index = rng.randrange(len(model.regions))
+        writable = rng.random() < 0.5
+        model.protect(index, writable)
+        return {"op": "protect", "region": index, "writable": writable}
+
+    def _op_touch(self, rng, model):
+        index = rng.randrange(len(model.regions))
+        region = model.region_at(index)
+        return {"op": "touch", "region": index,
+                "page": rng.randrange(region["pages"]),
+                "write": rng.random() < self.profile.write_bias}
+
+    def _op_burst(self, rng, model):
+        index = rng.randrange(len(model.regions))
+        region = model.region_at(index)
+        count = min(MAX_BURST, 1 + rng.randrange(2 * region["pages"]))
+        return {"op": "burst", "region": index,
+                "start": rng.randrange(region["pages"]), "count": count,
+                "write": rng.random() < self.profile.write_bias}
+
+    def _op_fork(self, rng, model):
+        index = rng.randrange(len(model.procs))
+        model.fork(index)
+        return {"op": "fork", "proc": index}
+
+    def _op_dedup(self, rng, model):
+        index = rng.randrange(len(model.regions))
+        return {"op": "dedup", "region": index,
+                "group": rng.choice((2, 2, 3, 4))}
+
+    def _op_reclaim(self, rng, model):
+        return {"op": "reclaim", "proc": rng.randrange(len(model.procs)),
+                "pages": rng.choice((1, 2, 4, 8))}
+
+    def _op_settle(self, rng, model):
+        return {"op": "settle", "intervals": rng.choice((1, 1, 2, 3))}
+
+    def _op_flush(self, rng, model):
+        return {"op": "flush", "proc": rng.randrange(len(model.procs))}

@@ -1,0 +1,99 @@
+"""Delta-debugging: minimize a failing scenario to its essential ops.
+
+Classic ddmin (Zeller & Hildebrandt) over the scenario's op list, plus a
+final one-at-a-time polish pass. It works because scenario ops are
+*total* — every slot index resolves modulo the live count, so any
+subsequence of a valid scenario is itself valid (see scenario.py) — and
+because the oracle is deterministic, so "still fails" is a pure
+predicate of the op list.
+
+The predicate receives a candidate :class:`Scenario` and returns True
+when the failure still reproduces. Each oracle run replays the
+candidate on every machine, so evaluations are the cost driver; the
+``budget`` caps them and the shrinker returns its best-so-far when the
+budget runs out.
+"""
+
+
+def _split(items, chunks):
+    """Partition ``items`` into ``chunks`` contiguous, non-empty slices."""
+    chunks = min(chunks, len(items))
+    size, remainder = divmod(len(items), chunks)
+    out = []
+    start = 0
+    for i in range(chunks):
+        end = start + size + (1 if i < remainder else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+def ddmin(items, failing, budget=400):
+    """Minimal failing subsequence of ``items``; at most ``budget`` tests.
+
+    ``failing(subsequence)`` must return True when the subsequence still
+    triggers the failure. ``items`` itself is assumed failing (callers
+    have already observed that); it is returned unchanged if the budget
+    is too small to learn anything.
+    """
+    spent = [0]
+
+    def test(candidate):
+        spent[0] += 1
+        return failing(candidate)
+
+    current = list(items)
+    granularity = 2
+    while len(current) >= 2 and spent[0] < budget:
+        chunks = _split(current, granularity)
+        reduced = False
+        for chunk in chunks:
+            if spent[0] >= budget:
+                return current
+            if test(chunk):
+                current = chunk
+                granularity = 2
+                reduced = True
+                break
+        if not reduced and granularity > 2:
+            for skip in range(len(chunks)):
+                if spent[0] >= budget:
+                    return current
+                complement = [item for index, chunk in enumerate(chunks)
+                              if index != skip for item in chunk]
+                if test(complement):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    # One-at-a-time polish: ddmin can stall at a 1-minimal *chunking*;
+    # this pass guarantees no single op is removable.
+    index = 0
+    while index < len(current) and spent[0] < budget:
+        candidate = current[:index] + current[index + 1:]
+        if candidate and test(candidate):
+            current = candidate
+        else:
+            index += 1
+    return current
+
+
+def shrink(scenario, predicate, budget=400):
+    """Minimize ``scenario`` under ``predicate`` (True = still failing).
+
+    Returns ``(minimal_scenario, evaluations)``. The result is
+    1-minimal with respect to op removal when the budget sufficed, and
+    best-effort otherwise.
+    """
+    spent = [0]
+
+    def failing(ops):
+        spent[0] += 1
+        return predicate(scenario.with_ops(ops))
+
+    minimal = ddmin(list(scenario.ops), failing, budget=budget)
+    return scenario.with_ops(minimal), spent[0]

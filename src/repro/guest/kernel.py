@@ -185,6 +185,37 @@ class GuestKernel:
         proc.resident_pages += 1
         return base
 
+    def mprotect(self, proc, va, size, writable):
+        """Change protection on every VMA overlapping ``[va, va+size)``.
+
+        Downgrades (rw -> ro) clear the writable bit on present leaves
+        and invalidate them, like a real kernel's change_protection().
+        Upgrades are lazy: the VMA becomes writable but read-only leaves
+        stay; the next write faults and the 'prot'/'cow' paths fix it,
+        which keeps COW sharing intact.
+        """
+        size = align_up(size, self._granule)
+        end = va + size
+        touched = 0
+        for vma in proc.vmas:
+            if vma.start >= end or vma.end <= va:
+                continue
+            touched += 1
+            vma.writable = writable
+            if writable:
+                continue
+            lo = max(vma.start, va)
+            hi = min(vma.end, end)
+            for page_va in self._page_range(lo, hi - lo):
+                _n, _i, pte = proc.page_table.leaf_entry(page_va, self.page_size)
+                if pte is not None and pte.present and pte.writable:
+                    proc.page_table.set_flags(page_va, self.page_size,
+                                              writable=False)
+                    self.platform.invlpg(proc, page_va)
+        if not touched:
+            raise SimulationError("mprotect of unmapped range %#x" % va)
+        return touched
+
     # -- fault handling --------------------------------------------------------------
 
     def handle_page_fault(self, proc, va, is_write):
@@ -291,7 +322,7 @@ class GuestKernel:
 
     # -- memory pressure -------------------------------------------------------------------
 
-    def reclaim(self, proc, target_pages, scan_limit=None):
+    def reclaim(self, proc, target_pages, scan_limit=None, precise_aging=False):
         """Clock-algorithm page reclaim (Section V, memory pressure).
 
         Clears accessed bits on the first encounter (a PT write) and
@@ -299,6 +330,13 @@ class GuestKernel:
         kernel's shrinker, each call scans a bounded batch
         (``scan_limit``, default 8x the target) rather than sweeping the
         whole resident set at once.
+
+        With ``precise_aging`` each accessed-bit clear is followed by an
+        INVLPG, so the next touch of that page re-walks and re-sets the
+        bit regardless of translation mode. The default (no INVLPG)
+        matches Linux, which tolerates stale-TLB aging; precise aging is
+        what the differential fuzzer needs to keep accessed bits
+        bit-identical across native/nested/shadow machines.
         """
         leaves = [(va, pte) for va, pte, _ in proc.page_table.iter_leaves()]
         if not leaves:
@@ -312,10 +350,16 @@ class GuestKernel:
             va, pte = leaves[hand]
             hand = (hand + 1) % len(leaves)
             examined += 1
-            if not pte.present:
+            # Re-read the live entry: the snapshot goes stale as we
+            # evict, and a wrapped clock hand must not see (and
+            # double-free!) pages this very loop already unmapped.
+            _node, _index, live = proc.page_table.leaf_entry(va, self.page_size)
+            if live is not pte or not pte.present:
                 continue
             if pte.accessed:
                 proc.page_table.set_flags(va, self.page_size, accessed=False)
+                if precise_aging:
+                    self.platform.invlpg(proc, va)
             else:
                 proc.page_table.unmap(va, self.page_size)
                 self._release_frame(pte.frame)

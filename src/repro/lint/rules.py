@@ -121,6 +121,51 @@ class UnseededRandomRule(Rule):
                                        "`default_rng(seed)`" % full)
 
 
+class FuzzEntropyRule(Rule):
+    """The fuzz subsystem may draw randomness only from its scenario seed.
+
+    A fuzz case is *named* by (seed, profile, ops) and regenerated from
+    that triple in worker processes and replays — so any ambient entropy
+    in ``repro/fuzz/`` (an unseeded ``random.Random()``, ``os.urandom``,
+    ``secrets``, ``uuid4``, ``SystemRandom``) silently breaks reproducer
+    files, corpus naming, and shrink determinism. REPRO101 already bans
+    the global ``random.*`` state everywhere; this rule additionally bans
+    the OS entropy sources 101 tolerates, but only inside the fuzzer,
+    where even *seeding from* fresh entropy is a contract violation.
+    """
+
+    rule_id = "REPRO105"
+    name = "fuzz-entropy"
+    description = ("repro/fuzz/ must derive all randomness from the scenario "
+                   "seed: no unseeded random.Random(), os.urandom, secrets, "
+                   "uuid1/uuid4, or SystemRandom")
+
+    SCOPE = "repro/fuzz/"
+    FORBIDDEN = {"os.urandom", "random.SystemRandom", "uuid.uuid1",
+                 "uuid.uuid4"}
+
+    def check_file(self, source_file):
+        if self.SCOPE not in source_file.posix_path:
+            return
+        aliases = _import_aliases(source_file.tree)
+        for node in ast.walk(source_file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = _resolve(node.func, aliases)
+            if full is None:
+                continue
+            if full == "random.Random" and not (node.args or node.keywords):
+                yield self.finding(source_file, node,
+                                   "unseeded `random.Random()` in the fuzz "
+                                   "subsystem; scenarios must be regenerable "
+                                   "from their (seed, profile, ops) name")
+            elif full in self.FORBIDDEN or full.startswith("secrets."):
+                yield self.finding(source_file, node,
+                                   "`%s()` draws OS entropy; fuzz code must "
+                                   "derive all randomness from the scenario "
+                                   "seed" % full)
+
+
 class MutableDefaultRule(Rule):
     """No mutable default arguments (shared across calls and runs)."""
 
@@ -391,6 +436,7 @@ class _FakeNode:
 
 DEFAULT_RULES = (
     UnseededRandomRule(),
+    FuzzEntropyRule(),
     MutableDefaultRule(),
     BareExceptRule(),
     PolicyHooksRule(),

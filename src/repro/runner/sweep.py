@@ -183,22 +183,23 @@ def parse_shard(text):
     return k, n
 
 
-def _cell_child(spec, conn, trace=False):
+def _cell_child(spec, conn, trace=False, executor=None):
     """Child-process entry point: run one cell, ship the result back.
 
-    Metrics travel as their ``to_dict()`` form — the same full-fidelity
+    Results travel as their ``to_dict()`` form — the same full-fidelity
     serialization the result cache uses — so the parent rebuilds them
     identically whether a cell was simulated here, serially, or loaded
     from disk. When tracing, the JSON-safe trace payload rides along as
     a third tuple element; the parent writes it to disk, so trace files
     are produced uniformly for serial and parallel sweeps.
     """
+    run = executor if executor is not None else execute_cell
     try:
         if trace:
-            metrics, payload = execute_cell(spec, trace=True)
+            metrics, payload = run(spec, trace=True)
             conn.send(("ok", metrics.to_dict(), payload))
         else:
-            metrics = execute_cell(spec)
+            metrics = run(spec)
             conn.send(("ok", metrics.to_dict(), None))
     except BaseException as exc:  # report, never hang the parent
         conn.send(("error", "%s: %s\n%s" % (
@@ -233,11 +234,20 @@ class SweepRunner:
     runs every simulated cell under a tracer + interval recorder and
     writes one ``<cell>.trace.json`` payload per cell into that
     directory (cached cells are not re-simulated, so they get no trace).
+
+    The runner is spec-agnostic: any cell object with ``cell_key()`` and
+    ``describe()`` works. ``executor`` (default
+    :func:`repro.runner.spec.execute_cell`) maps one cell to a result
+    object exposing ``to_dict()``; it must be a picklable module-level
+    callable so child processes can receive it. ``decode`` (default
+    ``RunMetrics.from_dict``) rebuilds the result from that dict in the
+    parent. The fuzz campaign (``repro fuzz``) reuses the pool this way
+    with differential-oracle cells instead of simulation cells.
     """
 
     def __init__(self, workers=1, cache=None, timeout=None, retries=1,
                  mp_context=None, progress=None, poll_interval=0.01,
-                 trace_dir=None):
+                 trace_dir=None, executor=None, decode=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if retries < 0:
@@ -250,6 +260,8 @@ class SweepRunner:
         self.progress = progress
         self.poll_interval = poll_interval
         self.trace_dir = trace_dir
+        self.executor = executor if executor is not None else execute_cell
+        self.decode = decode
 
     # -- public ---------------------------------------------------------------
 
@@ -317,6 +329,14 @@ class SweepRunner:
             "total": len(results),
         })
 
+    def _decode(self, data):
+        """Rebuild a result object from its over-the-pipe dict form."""
+        if self.decode is not None:
+            return self.decode(data)
+        from repro.core.metrics import RunMetrics
+
+        return RunMetrics.from_dict(data)
+
     def _make_context(self):
         """A usable multiprocessing context, or None to degrade to serial."""
         if self.mp_context is not None:
@@ -354,9 +374,9 @@ class SweepRunner:
                 attempt_start = _wall_time()
                 try:
                     if tracing:
-                        metrics, payload = execute_cell(cell, trace=True)
+                        metrics, payload = self.executor(cell, trace=True)
                     else:
-                        metrics, payload = execute_cell(cell), None
+                        metrics, payload = self.executor(cell), None
                 except Exception as exc:
                     result.elapsed += _wall_time() - attempt_start
                     result.error = "%s: %s\n%s" % (
@@ -383,7 +403,8 @@ class SweepRunner:
                     recv, send = context.Pipe(duplex=False)
                     process = context.Process(
                         target=_cell_child,
-                        args=(cell, send, self.trace_dir is not None),
+                        args=(cell, send, self.trace_dir is not None,
+                              self.executor),
                         daemon=True)
                     process.start()
                     send.close()
@@ -431,10 +452,8 @@ class SweepRunner:
                 attempt.conn.close()
 
             if kind == "ok":
-                from repro.core.metrics import RunMetrics
-
                 result.status = STATUS_OK
-                result.metrics = RunMetrics.from_dict(outcome[1])
+                result.metrics = self._decode(outcome[1])
                 payload = outcome[2] if len(outcome) > 2 else None
                 result.trace_path = self._write_trace(cell, payload)
             else:

@@ -67,6 +67,15 @@ class InvariantViolation(SimulationError):
             return " -> ".join(str(item) for item in value)
         return repr(value)
 
+    def to_dict(self):
+        """JSON-safe form, for fuzz reproducers and trace payloads."""
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "context": {key: self._render(key, value)
+                        for key, value in sorted(self.context.items())},
+        }
+
 
 class InvariantChecker:
     """Validates one VMM's shadow/guest/host/TLB state on demand.

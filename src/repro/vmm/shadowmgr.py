@@ -384,6 +384,14 @@ class ShadowManager:
             va = meta.prefix | (index << level_shift(node.level))
             at_leaf = gpte.huge or node.level == LEAF_LEVEL
             if at_leaf:
+                # Only prefill leaves the guest has actually accessed:
+                # _install_leaf stamps the guest accessed bit (the III-B
+                # protocol assumes demand fills, where the fault proves
+                # an access), so eagerly merging a never-accessed gPTE
+                # would invent an A bit the guest never earned. Skipped
+                # entries refill on demand like any other miss.
+                if not gpte.accessed:
+                    continue
                 self._install_leaf(va, node.level, gpte)
                 rebuilt += 1
             else:
@@ -435,6 +443,8 @@ class ShadowManager:
         """
         rebuilt = 0
         for va, gpte, level in page_table.iter_leaves():
+            if not gpte.accessed:
+                continue  # never-accessed gPTEs demand-fill later (A-bit protocol)
             self._install_leaf(va, level, gpte)
             rebuilt += 1
         return rebuilt

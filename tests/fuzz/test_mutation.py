@@ -1,0 +1,69 @@
+"""Mutation test: the oracle must catch an injected walker bug.
+
+This is the acceptance check for the whole subsystem: break the
+hardware model on purpose, confirm the differential oracle flags the
+divergence, and confirm the shrinker reduces the trigger to a
+human-sized reproducer (the ISSUE bound: at most 12 ops).
+"""
+
+import pytest
+
+from repro.fuzz.oracle import DifferentialOracle
+from repro.fuzz.scenario import ScenarioGenerator
+from repro.fuzz.shrink import shrink
+from repro.hw.walker import PageWalker
+
+MODES = ("native", "shadow")
+
+
+def _inject_write_blind_walker(monkeypatch):
+    """Break shadow_walk: every access walks as a read.
+
+    Writes to read-only shadow leaves stop raising protection faults, so
+    the dirty-bit protocol (Section III-B) never runs and guest dirty
+    bits silently stay clear on shadow machines.
+    """
+    original = PageWalker.shadow_walk
+
+    def write_blind(self, va, ctx, is_write=False):
+        return original(self, va, ctx, is_write=False)
+
+    monkeypatch.setattr(PageWalker, "shadow_walk", write_blind)
+
+
+def _first_failure(oracle, seeds=range(1, 20), ops=120):
+    for seed in seeds:
+        scenario = ScenarioGenerator("default").generate(seed=seed, ops=ops)
+        verdict = oracle.run(scenario)
+        if not verdict.ok:
+            return scenario, verdict
+    pytest.fail("injected walker bug was never caught")
+
+
+class TestMutationCaught:
+    def test_oracle_catches_injected_bug(self, monkeypatch):
+        _inject_write_blind_walker(monkeypatch)
+        _scenario, verdict = _first_failure(DifferentialOracle(modes=MODES))
+        assert not verdict.ok
+        assert "shadow" in verdict.modes or verdict.check in (
+            "invariant", "exception")
+
+    def test_shrinks_to_small_reproducer(self, monkeypatch):
+        _inject_write_blind_walker(monkeypatch)
+        oracle = DifferentialOracle(modes=MODES)
+        scenario, _verdict = _first_failure(oracle)
+        small, _evaluations = shrink(
+            scenario, lambda c: not oracle.run(c).ok, budget=300)
+        assert len(small.ops) <= 12, small.ops
+        # The minimized scenario still reproduces under the mutation...
+        assert not oracle.run(small).ok
+
+    def test_reproducer_passes_once_fixed(self, monkeypatch):
+        _inject_write_blind_walker(monkeypatch)
+        oracle = DifferentialOracle(modes=MODES)
+        scenario, _verdict = _first_failure(oracle)
+        small, _evaluations = shrink(
+            scenario, lambda c: not oracle.run(c).ok, budget=300)
+        # ...and passes again on the healthy walker ("the fix").
+        monkeypatch.undo()
+        assert oracle.run(small).ok

@@ -1,0 +1,140 @@
+"""Tests for the differential oracle: clean runs, verdicts, plumbing."""
+
+import pytest
+
+from repro.fuzz.oracle import (
+    DEFAULT_MODES,
+    DifferentialOracle,
+    ScenarioRunner,
+    Verdict,
+    build_system,
+)
+from repro.fuzz.scenario import Scenario, ScenarioGenerator
+
+ALL_MODES = ("native", "nested", "shadow", "agile", "shsp")
+
+
+def _scenario(profile, seed=1, ops=80):
+    return ScenarioGenerator(profile).generate(seed=seed, ops=ops)
+
+
+class TestBuildSystem:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            build_system("paravirt")
+
+    def test_rejects_unknown_page_size(self):
+        with pytest.raises(ValueError):
+            build_system("agile", page_size="1G-ish")
+
+    def test_native_has_no_vmm(self):
+        assert build_system("native").vmm is None
+
+    def test_virtualized_has_vmm(self):
+        assert build_system("agile").vmm is not None
+
+    def test_paranoid_wires_invariants(self):
+        system = build_system("agile", paranoid=True)
+        assert system.vmm.invariants is not None
+
+
+class TestCleanEquivalence:
+    """The core acceptance property: all modes agree on guest state."""
+
+    @pytest.mark.parametrize("profile", ["default", "churn", "bimodal",
+                                         "fork_cow", "ctx", "reclaim"])
+    def test_profiles_clean_4k(self, profile):
+        verdict = DifferentialOracle(modes=ALL_MODES).run(_scenario(profile))
+        assert verdict.ok, verdict
+
+    @pytest.mark.parametrize("profile", ["default", "fork_cow", "reclaim"])
+    def test_profiles_clean_2m(self, profile):
+        verdict = DifferentialOracle(
+            modes=ALL_MODES, page_size="2M").run(_scenario(profile))
+        assert verdict.ok, verdict
+
+    def test_ad_assist_clean(self):
+        verdict = DifferentialOracle(hw_ad_assist=True).run(
+            _scenario("bimodal", seed=2))
+        assert verdict.ok, verdict
+
+    def test_verdict_repr_mentions_ok(self):
+        verdict = DifferentialOracle(modes=("native", "shadow")).run(
+            _scenario("default", ops=30))
+        assert verdict.ok
+        assert "ok" in repr(verdict)
+
+
+class TestScenarioRunner:
+    def test_skipped_ops_counted_not_fatal(self):
+        runner = ScenarioRunner(build_system("native"))
+        # munmap with no regions and exit of the last proc must skip.
+        scenario = Scenario(seed=0, profile="manual", ops=[
+            {"op": "munmap", "region": 0},
+            {"op": "exit", "proc": 0},
+            {"op": "mmap", "proc": 0, "pages": 2, "writable": True,
+             "populate": False},
+        ])
+        runner.run(scenario)
+        counters = runner.fault_counters()
+        assert counters["skipped_ops"] == 2
+
+    def test_prot_violation_counted(self):
+        runner = ScenarioRunner(build_system("native"))
+        scenario = Scenario(seed=0, profile="manual", ops=[
+            {"op": "mmap", "proc": 0, "pages": 2, "writable": False,
+             "populate": False},
+            {"op": "touch", "region": 0, "page": 0, "write": True},
+        ])
+        runner.run(scenario)
+        assert runner.fault_counters()["prot_violations"] == 1
+
+    def test_leaf_snapshot_per_proc(self):
+        runner = ScenarioRunner(build_system("native"))
+        scenario = Scenario(seed=0, profile="manual", ops=[
+            {"op": "mmap", "proc": 0, "pages": 2, "writable": True,
+             "populate": True},
+        ])
+        runner.run(scenario)
+        snapshot = runner.leaf_snapshot()
+        assert len(snapshot) == 1
+        leaves = snapshot[0]
+        # 2 data pages + the code pages from spawn.
+        assert len(leaves) >= 2
+
+    def test_native_trap_counts_empty(self):
+        runner = ScenarioRunner(build_system("native"))
+        assert runner.trap_counts() == {}
+
+
+class TestVerdict:
+    def test_roundtrip(self):
+        verdict = Verdict.failed("leaf-state", "divergence", op_index=3,
+                                 modes=("native", "agile"),
+                                 context={"x": 1})
+        again = Verdict.from_dict(verdict.to_dict())
+        assert again.check == "leaf-state"
+        assert again.op_index == 3
+        assert tuple(again.modes) == ("native", "agile")
+        assert not again
+
+    def test_passed_is_truthy(self):
+        assert Verdict.passed()
+        assert Verdict.passed().ok
+
+
+class TestOracleOptions:
+    def test_options_roundtrip(self):
+        oracle = DifferentialOracle(modes=("native", "shadow"),
+                                    page_size="2M", compare_every=4,
+                                    hw_ad_assist=True)
+        again = DifferentialOracle.from_options(oracle.options())
+        assert again.options() == oracle.options()
+
+    def test_trap_relations_checked(self):
+        """A scenario with context switches exercises the agile-vs-shadow
+        ordering relations (they hold on a healthy tree)."""
+        verdict = DifferentialOracle(
+            modes=("native", "nested", "shadow", "agile")).run(
+            _scenario("ctx", seed=3, ops=120))
+        assert verdict.ok, verdict

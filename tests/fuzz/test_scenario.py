@@ -1,0 +1,95 @@
+"""Tests for the seeded scenario generator."""
+
+import pytest
+
+from repro.fuzz.scenario import (
+    MAX_PROCS,
+    MAX_REGIONS,
+    OP_KINDS,
+    PROFILES,
+    Scenario,
+    ScenarioGenerator,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_ops(self):
+        a = ScenarioGenerator("default").generate(seed=42, ops=200)
+        b = ScenarioGenerator("default").generate(seed=42, ops=200)
+        assert a.ops == b.ops
+
+    def test_different_seeds_differ(self):
+        a = ScenarioGenerator("default").generate(seed=1, ops=200)
+        b = ScenarioGenerator("default").generate(seed=2, ops=200)
+        assert a.ops != b.ops
+
+    def test_profiles_differ(self):
+        a = ScenarioGenerator("ctx").generate(seed=5, ops=200)
+        b = ScenarioGenerator("reclaim").generate(seed=5, ops=200)
+        assert a.ops != b.ops
+
+    def test_requested_length(self):
+        for profile in sorted(PROFILES):
+            scenario = ScenarioGenerator(profile).generate(seed=3, ops=75)
+            assert len(scenario.ops) == 75, profile
+
+    def test_only_known_kinds(self):
+        for profile in sorted(PROFILES):
+            scenario = ScenarioGenerator(profile).generate(seed=9, ops=150)
+            for op in scenario.ops:
+                assert op["op"] in OP_KINDS
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        scenario = ScenarioGenerator("churn").generate(seed=11, ops=60)
+        again = Scenario.from_json(scenario.to_json())
+        assert again == scenario
+
+    def test_dict_roundtrip(self):
+        scenario = ScenarioGenerator("fork_cow").generate(seed=12, ops=60)
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_rejects_unknown_schema(self):
+        data = ScenarioGenerator("default").generate(seed=1, ops=5).to_dict()
+        data["schema"] = 99
+        with pytest.raises(ValueError):
+            Scenario.from_dict(data)
+
+    def test_with_ops_keeps_identity(self):
+        scenario = ScenarioGenerator("default").generate(seed=4, ops=30)
+        sliced = scenario.with_ops(scenario.ops[:7])
+        assert sliced.seed == scenario.seed
+        assert sliced.profile == scenario.profile
+        assert len(sliced.ops) == 7
+
+    def test_name_is_stable(self):
+        scenario = ScenarioGenerator("default").generate(seed=4, ops=30)
+        assert scenario.name == "s4-default-30"
+
+
+class TestGeneratorModel:
+    def test_spawn_respects_proc_cap(self):
+        profile = PROFILES["default"]
+        scenario = ScenarioGenerator(profile).generate(seed=21, ops=400)
+        live = 1
+        for op in scenario.ops:
+            if op["op"] == "spawn" or op["op"] == "fork":
+                live += 1
+                assert live <= MAX_PROCS
+            elif op["op"] == "exit" and live > 1:
+                live -= 1
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioGenerator("no-such-profile")
+
+    def test_region_caps(self):
+        scenario = ScenarioGenerator("churn").generate(seed=8, ops=400)
+        regions = 0
+        for op in scenario.ops:
+            if op["op"] == "mmap":
+                regions = min(regions + 1, MAX_REGIONS)
+                assert regions <= MAX_REGIONS
+            elif op["op"] == "munmap" and regions:
+                regions -= 1

@@ -1,0 +1,73 @@
+"""Tests for the ddmin delta-debugger."""
+
+from repro.fuzz.scenario import ScenarioGenerator
+from repro.fuzz.shrink import ddmin, shrink
+
+
+class TestDdmin:
+    def test_finds_single_culprit(self):
+        items = list(range(40))
+        result = ddmin(items, lambda sub: 17 in sub)
+        assert result == [17]
+
+    def test_finds_interacting_pair(self):
+        items = list(range(40))
+        result = ddmin(items, lambda sub: 3 in sub and 31 in sub)
+        assert result == [3, 31]
+
+    def test_preserves_order(self):
+        items = list(range(60))
+        result = ddmin(items, lambda sub: {5, 20, 55} <= set(sub))
+        assert result == [5, 20, 55]
+
+    def test_one_minimal(self):
+        """No single element of the result is removable."""
+        items = list(range(30))
+
+        def failing(sub):
+            return sum(sub) >= 100
+
+        result = ddmin(items, failing)
+        for index in range(len(result)):
+            candidate = result[:index] + result[index + 1:]
+            assert not (candidate and failing(candidate))
+
+    def test_budget_caps_evaluations(self):
+        calls = [0]
+
+        def failing(sub):
+            calls[0] += 1
+            return 7 in sub
+
+        ddmin(list(range(200)), failing, budget=10)
+        assert calls[0] <= 10
+
+    def test_everything_essential(self):
+        items = [1, 2, 3]
+        result = ddmin(items, lambda sub: sub == [1, 2, 3])
+        assert result == [1, 2, 3]
+
+
+class TestShrinkScenario:
+    def test_shrinks_to_culprit_op(self):
+        scenario = ScenarioGenerator("default").generate(seed=6, ops=100)
+        # Synthetic predicate: "fails" iff the op list still contains the
+        # first mmap op of the original program.
+        culprit = next(op for op in scenario.ops if op["op"] == "mmap")
+
+        def predicate(candidate):
+            return culprit in candidate.ops
+
+        small, evaluations = shrink(scenario, predicate)
+        assert small.ops == [culprit]
+        assert evaluations > 0
+        assert small.seed == scenario.seed
+        assert small.profile == scenario.profile
+
+    def test_budget_returns_best_effort(self):
+        scenario = ScenarioGenerator("default").generate(seed=6, ops=100)
+        target = scenario.ops[42]
+        small, evaluations = shrink(
+            scenario, lambda c: target in c.ops, budget=5)
+        assert evaluations <= 5
+        assert target in small.ops

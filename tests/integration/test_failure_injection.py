@@ -23,7 +23,9 @@ def build(mode, **overrides):
 
 class TestGuestMemoryExhaustion:
     def test_oom_on_demand_faulting(self):
-        _system, api = build("native", host_mem_frames=64)
+        # Native RAM is sized by guest_mem_frames: the same guest
+        # machine as the virtualized modes, minus the VMM.
+        _system, api = build("native", guest_mem_frames=64)
         api.spawn(code_pages=1)
         base = api.mmap(1 << 20)  # reserving is fine...
         with pytest.raises(OutOfMemoryError):
@@ -31,7 +33,7 @@ class TestGuestMemoryExhaustion:
                 api.write(base + i * 4096)
 
     def test_oom_leaves_earlier_pages_intact(self):
-        system, api = build("native", host_mem_frames=80)
+        system, api = build("native", guest_mem_frames=80)
         api.spawn(code_pages=1)
         base = api.mmap(1 << 20)
         written = 0

@@ -41,6 +41,40 @@ class TestUnseededRandom:
         assert findings == []
 
 
+class TestFuzzEntropy:
+    def test_flags_entropy_sources_inside_fuzz(self, tmp_path):
+        findings = lint_sources(tmp_path, {"repro/fuzz/bad.py": (
+            "import os\n"
+            "import random\n"
+            "import secrets\n"
+            "import uuid\n"
+            "r = random.Random()\n"
+            "blob = os.urandom(8)\n"
+            "tok = secrets.token_bytes(4)\n"
+            "name = uuid.uuid4()\n"
+            "sr = random.SystemRandom()\n"
+        )})
+        ids = [f.rule_id for f in findings]
+        assert ids.count("REPRO105") == 5
+        messages = " | ".join(f.message for f in findings)
+        assert "scenario" in messages and "OS entropy" in messages
+
+    def test_seeded_fuzz_code_is_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {"repro/fuzz/good.py": (
+            "import random\n"
+            "def generate(seed):\n"
+            "    return random.Random(seed).random()\n"
+        )})
+        assert findings == []
+
+    def test_rule_is_scoped_to_fuzz_tree(self, tmp_path):
+        findings = lint_sources(tmp_path, {"repro/core/other.py": (
+            "import os\n"
+            "blob = os.urandom(8)\n"
+        )})
+        assert "REPRO105" not in rule_ids(findings)
+
+
 class TestMutableDefault:
     def test_flags_literals_and_constructors(self, tmp_path):
         findings = lint_sources(tmp_path, {"bad.py": (

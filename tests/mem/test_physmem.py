@@ -62,6 +62,38 @@ class TestFrameAllocator:
         with pytest.raises(OutOfMemoryError):
             alloc.alloc_contiguous(512)
 
+    def test_contiguous_reuses_freed_blocks(self):
+        # Map/unmap churn of large pages must not leak the bump pointer:
+        # once the bump region is gone, freed aligned blocks are reused
+        # (found by the differential fuzzer's 2M campaigns).
+        alloc = FrameAllocator(1024)
+        first = alloc.alloc_contiguous(512)
+        second = alloc.alloc_contiguous(512)
+        for frame in range(second, second + 512):
+            alloc.free(frame)
+        assert alloc.alloc_contiguous(512) == second
+        assert first == 0
+
+    def test_contiguous_reuse_takes_lowest_aligned_block(self):
+        alloc = FrameAllocator(1024)
+        blocks = [alloc.alloc_contiguous(256) for _ in range(4)]
+        for base in (blocks[3], blocks[1]):
+            for frame in range(base, base + 256):
+                alloc.free(frame)
+        assert alloc.alloc_contiguous(256) == blocks[1]
+        assert alloc.alloc_contiguous(256) == blocks[3]
+
+    def test_contiguous_reuse_requires_fully_free_block(self):
+        alloc = FrameAllocator(512)
+        base = alloc.alloc_contiguous(512)
+        for frame in range(base, base + 512):
+            alloc.free(frame)
+        hole = alloc.alloc()  # one frame back out of the only block
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc_contiguous(512)
+        alloc.free(hole)
+        assert alloc.alloc_contiguous(512) == base
+
     def test_rejects_bad_counts(self):
         with pytest.raises(ValueError):
             FrameAllocator(0)

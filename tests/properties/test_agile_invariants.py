@@ -1,106 +1,114 @@
-"""Property-based tests for agile-paging-specific invariants."""
+"""Property-based tests for agile-paging-specific invariants.
+
+Guest histories are seeded :mod:`repro.fuzz.scenario` programs run
+through the fuzzer's own :class:`~repro.fuzz.oracle.ScenarioRunner`, so
+these property tests and the fuzz campaigns exercise one shared scenario
+space: a bug either suite can express, the other can replay. Hypothesis
+only draws the (seed, profile, ops) triple — exactly what names a fuzz
+case — so every counterexample it shrinks to is a ready-made corpus
+entry.
+"""
 
 from hypothesis import given, settings, strategies as st
 
-from repro.common.config import sandy_bridge_config
-from repro.core.machine import System
-from repro.core.simulator import MachineAPI
+from repro.fuzz.oracle import ScenarioRunner, build_system
+from repro.fuzz.scenario import PROFILES, ScenarioGenerator
 from repro.vmm.shadowmgr import NODE_NESTED, NODE_SHADOW
+
+PROFILE_NAMES = sorted(PROFILES)
 
 
 @st.composite
-def agile_activity(draw):
-    """Random guest activity plus random direct mode-switch requests."""
-    return draw(st.lists(
-        st.tuples(
-            st.sampled_from(["write", "read", "switch", "revert", "tick"]),
-            st.integers(min_value=0, max_value=63),
-        ),
-        min_size=1,
-        max_size=50,
-    ))
+def scenarios(draw, max_ops=60):
+    """A seeded scenario program, as a fuzz campaign would name it."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    profile = draw(st.sampled_from(PROFILE_NAMES))
+    ops = draw(st.integers(min_value=1, max_value=max_ops))
+    return ScenarioGenerator(profile).generate(seed=seed, ops=ops)
 
 
-def _build():
-    system = System(sandy_bridge_config(mode="agile"))
-    api = MachineAPI(system)
-    proc = api.spawn()
-    base = api.mmap(64 << 12)
-    manager = system.vmm.states[proc.pid].manager
-    return system, api, proc, manager, base
+def _run(scenario, mode="agile"):
+    """Replay ``scenario`` on one machine (paranoid, so the PR 1
+    invariant suite fires after every trap along the way)."""
+    runner = ScenarioRunner(build_system(mode))
+    runner.run(scenario)
+    return runner
 
 
 class TestAgileCoherence:
     @settings(max_examples=25, deadline=None)
-    @given(agile_activity())
-    def test_translation_correct_under_any_mode_churn(self, activity):
-        """No interleaving of accesses, policy-driven switches, manual
-        switches/reverts, and ticks may ever produce a wrong
-        translation."""
-        system, api, proc, manager, base = _build()
-        for op, page in activity:
-            va = base + page * 4096
-            if op == "write":
-                api.write(va)
-            elif op == "read":
-                api.read(va)
-            elif op == "switch":
-                gfns = [g for g, m in manager.node_meta.items()
-                        if m.mode == NODE_SHADOW]
-                if gfns:
-                    manager.switch_to_nested(gfns[page % len(gfns)])
-            elif op == "revert":
-                for gfn in manager.nested_node_gfns():
-                    meta = manager.node_meta[gfn]
-                    parent_ok = (gfn == manager.root_gfn or
-                                 manager.node_meta[meta.parent_gfn].mode
-                                 == NODE_SHADOW)
-                    if parent_ok:
-                        manager.revert_to_shadow(gfn)
-                        break
-            elif op == "tick":
-                system.vmm.policy_tick()
-        # Invariant: every mapped page translates to hPT(gPT(va)).
-        for page in range(64):
-            va = base + page * 4096
-            translated = proc.page_table.translate(va)
-            if translated is None:
+    @given(scenarios())
+    def test_translation_correct_under_any_history(self, scenario):
+        """No generated interleaving of guest activity and policy-driven
+        mode churn may ever produce a wrong translation: every mapped
+        page must read back as hPT(gPT(va))."""
+        runner = _run(scenario)
+        vmm = runner.system.vmm
+        for proc in runner.procs:
+            targets = [(va, pte.frame)
+                       for va, pte, _level in proc.page_table.iter_leaves()
+                       if pte.present]
+            if not targets:
                 continue
-            outcome = api.read(va)
-            assert outcome.frame == system.vmm.hostpt.translate(translated[0])
+            runner.api.switch_to(proc)
+            for va, gfn in targets:
+                outcome = runner.api.read(va)
+                # Translate after the read: the read itself may
+                # demand-fault the host mapping into existence.
+                assert outcome.frame == vmm.hostpt.translate(gfn)
 
     @settings(max_examples=25, deadline=None)
-    @given(agile_activity())
-    def test_mode_map_matches_switching_bits(self, activity):
+    @given(scenarios())
+    def test_mode_map_matches_switching_bits(self, scenario):
         """A shadow-covered node is never reachable through a switching
         bit, and nested nodes are never write-protected (writes to them
         never trap)."""
-        system, api, proc, manager, base = _build()
-        for op, page in activity:
-            va = base + page * 4096
-            if op == "write":
-                api.write(va)
-            elif op == "read":
-                api.read(va)
-            elif op == "tick":
-                system.vmm.policy_tick()
-        # Collect every switching entry in the shadow table.
-        switch_targets = set()
-        for node in manager.spt.iter_nodes():
-            for _index, spte in node.present_items():
-                if spte.switching:
-                    switch_targets.add(spte.frame)
-        for gfn in switch_targets:
-            assert manager.node_meta[gfn].mode == NODE_NESTED
-        # Writes to nested nodes must be direct (no PT_WRITE trap).
-        nested = manager.nested_node_gfns()
-        if nested:
-            target = nested[-1]
-            node = manager._guest_node(target)
-            before = system.vmm.traps.count("pt_write")
+        runner = _run(scenario)
+        system = runner.system
+        for proc in runner.procs:
+            manager = system.vmm.states[proc.pid].manager
+            # Every switching entry must point at a nested-mode node.
+            switch_targets = set()
+            for node in manager.spt.iter_nodes():
+                for _index, spte in node.present_items():
+                    if spte.switching:
+                        switch_targets.add(spte.frame)
+            for gfn in switch_targets:
+                assert manager.node_meta[gfn].mode == NODE_NESTED
+            # Writes to nested nodes must be direct (no PT_WRITE trap).
+            nested = manager.nested_node_gfns()
+            if not nested:
+                continue
+            node = manager._guest_node(nested[-1])
             items = list(node.present_items())
-            if items:
-                index, pte = items[0]
-                replacement = pte.copy()
-                proc.page_table._write_entry(node, index, replacement)
-                assert system.vmm.traps.count("pt_write") == before
+            if not items:
+                continue
+            before = system.vmm.traps.count("pt_write")
+            index, pte = items[0]
+            proc.page_table._write_entry(node, index, pte.copy())
+            assert system.vmm.traps.count("pt_write") == before
+
+    @settings(max_examples=10, deadline=None)
+    @given(scenarios(max_ops=40))
+    def test_shadow_covered_nodes_are_mediated(self, scenario):
+        """Dual of the nested direct-write check: a guest PT update to a
+        shadow-mode node must be mediated (one PT_WRITE trap), else the
+        shadow table would silently go stale (Section III-A)."""
+        runner = _run(scenario)
+        system = runner.system
+        for proc in runner.procs:
+            manager = system.vmm.states[proc.pid].manager
+            if manager.fully_nested:
+                continue
+            shadow = [g for g, m in manager.node_meta.items()
+                      if m.mode == NODE_SHADOW]
+            if not shadow:
+                continue
+            node = manager._guest_node(shadow[-1])
+            items = list(node.present_items())
+            if not items:
+                continue
+            before = system.vmm.traps.count("pt_write")
+            index, pte = items[0]
+            proc.page_table._write_entry(node, index, pte.copy())
+            assert system.vmm.traps.count("pt_write") == before + 1
