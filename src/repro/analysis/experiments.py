@@ -24,6 +24,7 @@ from repro.common.config import (
     MODE_SHADOW,
     sandy_bridge_config,
 )
+from repro.common.effects import policy_decision
 from repro.common.params import FOUR_KB, TWO_MB
 from repro.core.machine import System
 from repro.core.simulator import Simulator
@@ -109,6 +110,7 @@ def table1_measurements(ops=2_000):
 # -- Table II / Figure 3 ------------------------------------------------------------
 
 
+@policy_decision
 def table2_measurements():
     """Measured total walk references at every degree of nesting.
 
@@ -159,6 +161,7 @@ def table2_measurements():
     return totals
 
 
+@policy_decision
 def figure3_journals():
     """Chronological access orders per degree of nesting (Figure 3)."""
     config = sandy_bridge_config(mode=MODE_AGILE)

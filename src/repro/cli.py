@@ -506,12 +506,21 @@ def cmd_fuzz(args, out, err):
     return 0 if report.ok else 1
 
 
-def cmd_lint(args, out, _err):
+def cmd_lint(args, out, err):
     from repro.lint.runner import list_rules, run_lint
 
     if args.list_rules:
         return list_rules(out)
-    return run_lint(args.paths or None, fmt=args.format, out=out)
+    cache_dir = None if args.no_cache else args.cache_dir
+    return run_lint(args.paths or None, fmt=args.format, out=out, err=err,
+                    deep=args.deep, cache_dir=cache_dir,
+                    audit_suppressions=args.audit_suppressions)
+
+
+def cmd_check(args, out, err):
+    # `repro check` == `repro lint --deep`.
+    args.deep = True
+    return cmd_lint(args, out, err)
 
 
 def build_parser():
@@ -699,15 +708,33 @@ def build_parser():
     fuzz_parser.add_argument("--quiet", action="store_true",
                              help="suppress per-case progress lines")
 
+    def add_lint_args(p, deep_default=False):
+        p.add_argument(
+            "paths", nargs="*",
+            help="files/directories to lint (default: the repro package)")
+        p.add_argument("--format", choices=("text", "json"), default="text")
+        p.add_argument("--list-rules", action="store_true",
+                       help="print the rule catalogue and exit")
+        if not deep_default:
+            p.add_argument("--deep", action="store_true",
+                           help="also run the whole-program flow rules "
+                                "(call-graph effects, taint, layering)")
+        p.add_argument("--audit-suppressions", action="store_true",
+                       help="list every suppression marker and fail on "
+                            "unused ones")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore and do not write the lint result cache")
+        p.add_argument("--cache-dir", default=".repro-cache",
+                       help="lint result cache directory "
+                            "(default: .repro-cache)")
+
     lint_parser = sub.add_parser(
         "lint", help="run the project's static sanitizer")
-    lint_parser.add_argument(
-        "paths", nargs="*",
-        help="files/directories to lint (default: the repro package)")
-    lint_parser.add_argument("--format", choices=("text", "json"),
-                             default="text")
-    lint_parser.add_argument("--list-rules", action="store_true",
-                             help="print the rule catalogue and exit")
+    add_lint_args(lint_parser)
+
+    check_parser = sub.add_parser(
+        "check", help="alias for `lint --deep`: the full static analyzer")
+    add_lint_args(check_parser, deep_default=True)
     return parser
 
 
@@ -724,6 +751,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "fuzz": cmd_fuzz,
     "lint": cmd_lint,
+    "check": cmd_check,
 }
 
 

@@ -199,7 +199,10 @@ class System(GuestPlatform):
         self.clock.advance(cycles)
 
     def _charge_translation(self, outcome):
-        if outcome.hit_level == "l2":
+        if outcome.hit_level == "l1":
+            if self.cost.cycles_tlb_l1_hit:
+                self.clock.advance(self.cost.cycles_tlb_l1_hit)
+        elif outcome.hit_level == "l2":
             self.tlb_l2_cycles += self.cost.cycles_tlb_l2_hit
             self.clock.advance(self.cost.cycles_tlb_l2_hit)
         elif outcome.walk is not None:

@@ -12,20 +12,43 @@ contracts the test suite cannot easily express file-by-file:
   drives,
 * general hygiene — no mutable default arguments, no bare ``except:``.
 
+On top of the per-file rules sits ``repro.lint.flow`` — a whole-program
+pass (``repro lint --deep`` / ``repro check``) that builds a call graph
+and enforces the interprocedural contracts: the effect system over
+shadow-PT and switching-bit mutations (REPRO401/402), determinism
+*taint* through helper layers (REPRO403), event-taxonomy and dispatch
+exhaustiveness (REPRO404/405), the architecture layer map (REPRO501),
+and dead/phantom config keys (REPRO502).
+
 Run it as ``python -m repro lint [paths]`` (or via the ``repro`` console
 script); the pytest suite runs it over ``src/`` so tier-1 enforces a
 clean tree. See ``docs/static_analysis.md``.
 """
 
-from repro.lint.engine import Finding, LintEngine, ProjectRule, Rule
+from repro.lint.engine import (
+    Finding,
+    LintEngine,
+    LintResult,
+    ProjectRule,
+    Rule,
+    Suppression,
+)
+from repro.lint.flow.rules import FLOW_RULES
 from repro.lint.rules import DEFAULT_RULES
 from repro.lint.runner import run_lint
+
+#: The ``--deep`` rule set: every per-file rule plus the flow rules.
+DEEP_RULES = DEFAULT_RULES + FLOW_RULES
 
 __all__ = [
     "Finding",
     "LintEngine",
+    "LintResult",
+    "Suppression",
     "Rule",
     "ProjectRule",
     "DEFAULT_RULES",
+    "FLOW_RULES",
+    "DEEP_RULES",
     "run_lint",
 ]

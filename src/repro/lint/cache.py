@@ -1,0 +1,107 @@
+"""Content-hash cache for lint results.
+
+The same idiom as ``repro.runner.cache.ResultCache`` (PR 2): results
+are keyed by what produced them, stored as JSON, written atomically,
+and corruption is indistinguishable from a miss. The key covers
+
+* a schema version,
+* every linted file's path and content SHA-256 (so touching any file —
+  or renaming one, since the path is part of the pair — invalidates),
+* the rule-id set the engine was configured with (``--deep`` and plain
+  runs cache separately),
+* a :func:`repro.runner.fingerprint.code_fingerprint` of the ``repro.lint``
+  package itself, so editing a rule invalidates results the old rule
+  produced.
+
+A warm hit reconstructs the full :class:`~repro.lint.engine.LintResult`
+(findings *and* suppression audit) from JSON without parsing a single
+AST — which is what makes the unchanged-tree ``repro lint`` near-instant
+— and is byte-identical to a cold run because findings round-trip
+verbatim through ``as_dict``/``from_dict``.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.lint.engine import Finding, LintResult, Suppression
+from repro.runner.fingerprint import code_fingerprint
+
+SCHEMA = 1
+
+
+def _lint_package_root():
+    return os.path.dirname(os.path.abspath(__file__))
+
+
+class LintCache:
+    """One directory of cached lint runs, keyed by tree content."""
+
+    def __init__(self, root):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, file_hashes, rule_ids):
+        """The cache key of one (file set, rule set) combination."""
+        digest = hashlib.sha256()
+        digest.update(b"lint-schema-%d\0" % SCHEMA)
+        digest.update(code_fingerprint(_lint_package_root()).encode("ascii"))
+        digest.update(b"\0")
+        for rule_id in sorted(rule_ids):
+            digest.update(rule_id.encode("utf-8"))
+            digest.update(b"\0")
+        for path, content_hash in sorted(file_hashes):
+            digest.update(path.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(content_hash.encode("ascii"))
+            digest.update(b"\0")
+        return digest.hexdigest()
+
+    def _path_for(self, key):
+        return os.path.join(self.root, "lint-%s.json" % key)
+
+    def load(self, key):
+        """The cached :class:`LintResult` for ``key``, or None (miss)."""
+        try:
+            with open(self._path_for(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            if payload["schema"] != SCHEMA:
+                raise KeyError("schema")
+            result = LintResult(
+                [Finding.from_dict(f) for f in payload["findings"]],
+                payload["checked"],
+                [Suppression.from_dict(s) for s in payload["suppressions"]],
+            )
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key, result):
+        """Persist one engine run under ``key`` (atomic, best-effort)."""
+        payload = {
+            "schema": SCHEMA,
+            "checked": result.checked,
+            "findings": [f.as_dict() for f in result.findings],
+            "suppressions": [s.as_dict() for s in result.suppressions],
+        }
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w", encoding="utf-8", dir=self.root,
+                prefix=".lint-tmp-", suffix=".json", delete=False)
+            try:
+                json.dump(payload, handle, sort_keys=True)
+                handle.flush()
+            finally:
+                handle.close()
+            os.replace(handle.name, self._path_for(key))
+        except OSError:
+            pass  # a read-only cache dir degrades to always-cold

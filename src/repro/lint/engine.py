@@ -3,19 +3,29 @@
 Two rule shapes exist. A plain :class:`Rule` inspects one parsed file at
 a time; a :class:`ProjectRule` runs once over the *whole* file set, which
 is what cross-module contracts (trap kinds vs. cost model vs. metrics)
-need. Both yield :class:`Finding` objects the runner renders as text or
-JSON.
+and the ``repro.lint.flow`` whole-program rules need. Both yield
+:class:`Finding` objects the runner renders as text or JSON.
 
-Suppression: a line carrying ``# lint: disable=<rule-name>`` (or
-``disable=all``) silences findings reported on that line. Use sparingly;
-every suppression is a claim that the contract holds anyway.
+Suppression comes in two spellings, both per-line:
+
+* ``# lint: disable=<rule-name>`` (or the rule ID, or ``all``) — the
+  original syntax,
+* ``# repro: noqa[...]`` with comma-separated IDs/names (e.g.
+  ``REPRO101``) or ``all`` between the brackets.
+
+Every suppression the engine sees is recorded with a used/unused flag so
+``repro lint --audit-suppressions`` can list them and fail on dead ones.
+Use sparingly; every suppression is a claim that the contract holds
+anyway.
 """
 
 import ast
+import hashlib
 import os
 import re
 
 SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\-]+)")
+NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s\-]+)\]")
 
 SKIP_DIR_SUFFIXES = ("__pycache__", ".egg-info")
 
@@ -43,6 +53,11 @@ class Finding:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(payload["rule_id"], payload["rule"], payload["path"],
+                   payload["line"], payload["col"], payload["message"])
+
     def format(self):
         return "%s:%d:%d: %s [%s] %s" % (
             self.path, self.line, self.col, self.rule_id, self.rule_name,
@@ -53,16 +68,63 @@ class Finding:
         return "Finding(%s)" % self.format()
 
 
+class Suppression:
+    """One suppression marker (either spelling) at one source line."""
+
+    __slots__ = ("path", "line", "names", "used")
+
+    def __init__(self, path, line, names, used=False):
+        self.path = path
+        self.line = line
+        self.names = frozenset(names)
+        self.used = used
+
+    def matches(self, finding):
+        return ("all" in self.names or finding.rule_name in self.names
+                or finding.rule_id in self.names)
+
+    def as_dict(self):
+        return {"path": self.path, "line": self.line,
+                "names": sorted(self.names), "used": self.used}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(payload["path"], payload["line"], payload["names"],
+                   payload["used"])
+
+    def format(self):
+        return "%s:%d: suppresses %s [%s]" % (
+            self.path, self.line, ",".join(sorted(self.names)),
+            "used" if self.used else "UNUSED")
+
+
+class LintResult:
+    """Everything one engine run produced."""
+
+    __slots__ = ("findings", "checked", "suppressions")
+
+    def __init__(self, findings, checked, suppressions):
+        self.findings = findings
+        self.checked = checked
+        self.suppressions = suppressions
+
+    def unused_suppressions(self):
+        return [s for s in self.suppressions if not s.used]
+
+
 class SourceFile:
     """One parsed Python source file."""
 
-    __slots__ = ("path", "source", "tree", "lines")
+    __slots__ = ("path", "source", "tree", "lines", "_content_hash",
+                 "_module_name")
 
     def __init__(self, path, source, tree):
         self.path = path
         self.source = source
         self.tree = tree
         self.lines = source.splitlines()
+        self._content_hash = None
+        self._module_name = None
 
     def line_text(self, lineno):
         if 1 <= lineno <= len(self.lines):
@@ -76,6 +138,42 @@ class SourceFile:
     def endswith(self, suffix):
         """Does this file's path end with ``suffix`` (posix-style)?"""
         return self.posix_path.endswith(suffix)
+
+    @property
+    def content_hash(self):
+        """Hex SHA-256 of the source text (cache keying)."""
+        if self._content_hash is None:
+            self._content_hash = hashlib.sha256(
+                self.source.encode("utf-8")).hexdigest()
+        return self._content_hash
+
+    @property
+    def module_name(self):
+        """The dotted module name, derived from ``__init__.py`` markers.
+
+        Walks up from the file while package markers exist, so
+        ``.../src/repro/hw/walker.py`` names ``repro.hw.walker`` whether
+        the tree being linted is the installed package or a fixture copy
+        under a pytest tmp_path. A file outside any package names its
+        bare stem.
+        """
+        if self._module_name is None:
+            path = os.path.abspath(self.path)
+            directory, filename = os.path.split(path)
+            parts = [] if filename == "__init__.py" else [filename[:-3]]
+            while os.path.isfile(os.path.join(directory, "__init__.py")):
+                directory, package = os.path.split(directory)
+                parts.append(package)
+            self._module_name = ".".join(reversed(parts)) or "__init__"
+        return self._module_name
+
+    @property
+    def package(self):
+        """The package this module lives in (itself, for ``__init__.py``)."""
+        name = self.module_name
+        if os.path.basename(self.path) == "__init__.py":
+            return name
+        return name.rpartition(".")[0]
 
 
 class Rule:
@@ -138,13 +236,21 @@ def _iter_python_files(paths):
     return sorted(seen)
 
 
-def _suppressed(source_file, finding):
-    """Is this finding silenced by a ``# lint: disable=`` marker?"""
-    match = SUPPRESS_RE.search(source_file.line_text(finding.line))
-    if match is None:
-        return False
-    names = {name.strip() for name in match.group(1).split(",")}
-    return "all" in names or finding.rule_name in names or finding.rule_id in names
+def _scan_suppressions(path, source):
+    """Every suppression marker in one file, as {line: Suppression}."""
+    suppressions = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "#" not in text:
+            continue
+        names = set()
+        for regex in (SUPPRESS_RE, NOQA_RE):
+            match = regex.search(text)
+            if match is not None:
+                names.update(n.strip() for n in match.group(1).split(",")
+                             if n.strip())
+        if names:
+            suppressions[lineno] = Suppression(path, lineno, names)
+    return suppressions
 
 
 class LintEngine:
@@ -156,13 +262,20 @@ class LintEngine:
 
     def run(self, paths):
         """Lint ``paths``; returns (findings, number_of_files_checked)."""
+        result = self.run_detailed(paths)
+        return result.findings, result.checked
+
+    def run_detailed(self, paths):
+        """Lint ``paths``; returns a full :class:`LintResult`."""
         findings = []
         source_files = []
+        suppressions = {}  # path -> {line: Suppression}
         checked = 0
         for path in _iter_python_files(paths):
             checked += 1
             with open(path, "r", encoding="utf-8") as handle:
                 source = handle.read()
+            suppressions[path] = _scan_suppressions(path, source)
             try:
                 tree = ast.parse(source, filename=path)
             except SyntaxError as error:
@@ -173,15 +286,20 @@ class LintEngine:
                 ))
                 continue
             source_files.append(SourceFile(path, source, tree))
-        by_path = {f.path: f for f in source_files}
         for rule in self.rules:
             for source_file in source_files:
                 findings.extend(rule.check_file(source_file))
             if isinstance(rule, ProjectRule):
                 findings.extend(rule.check_project(source_files))
-        findings = [
-            f for f in findings
-            if f.path not in by_path or not _suppressed(by_path[f.path], f)
-        ]
-        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-        return findings, checked
+        kept = []
+        for finding in findings:
+            marker = suppressions.get(finding.path, {}).get(finding.line)
+            if marker is not None and marker.matches(finding):
+                marker.used = True
+                continue
+            kept.append(finding)
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        all_suppressions = sorted(
+            (s for per_file in suppressions.values() for s in per_file.values()),
+            key=lambda s: (s.path, s.line))
+        return LintResult(kept, checked, all_suppressions)

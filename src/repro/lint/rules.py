@@ -32,8 +32,16 @@ MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
 MUTABLE_BUILTINS = {"list", "dict", "set", "bytearray"}
 
 
-def _import_aliases(tree):
-    """Map every imported binding to its fully qualified dotted name."""
+def _import_aliases(tree, package=None):
+    """Map every imported binding to its fully qualified dotted name.
+
+    With ``package`` (the importing module's own package, e.g.
+    ``"repro.vmm"``) relative imports resolve to absolute ``repro.*``
+    names too — without it they would leave bindings like ``T`` (from
+    ``from . import traps as T``) unresolved, and a project module
+    named like a stdlib module (``from . import time``) would
+    shadow-match the stdlib qualified names.
+    """
     aliases = {}
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
@@ -41,12 +49,30 @@ def _import_aliases(tree):
                 bound = alias.asname or alias.name.split(".")[0]
                 aliases[bound] = alias.name if alias.asname else alias.name.split(".")[0]
         elif isinstance(node, ast.ImportFrom):
-            if node.module is None or node.level:
-                continue  # relative imports stay project-internal
+            module = node.module
+            if node.level:
+                module = _resolve_relative(package, node.level, module)
+                if module is None:
+                    continue
+            elif module is None:
+                continue
             for alias in node.names:
                 bound = alias.asname or alias.name
-                aliases[bound] = "%s.%s" % (node.module, alias.name)
+                aliases[bound] = "%s.%s" % (module, alias.name)
     return aliases
+
+
+def _resolve_relative(package, level, module):
+    """Absolute module name for a level-``level`` relative import."""
+    if not package:
+        return None
+    parts = package.split(".")
+    if level - 1 >= len(parts):
+        return None  # beyond the package root: unresolvable
+    base = parts[:len(parts) - (level - 1)]
+    if module:
+        base.append(module)
+    return ".".join(base)
 
 
 def _dotted_name(node):
@@ -71,6 +97,43 @@ def _resolve(node, aliases):
     return "%s.%s" % (expanded, rest) if rest else expanded
 
 
+def classify_nondet_call(node, aliases):
+    """Message if ``node`` (a Call) reads a nondeterminism source, else None.
+
+    Shared between the per-file REPRO101 rule and the interprocedural
+    REPRO403 taint pass so both agree on what counts as a source:
+    wall-clock reads, the global ``random``/``numpy.random`` state, and
+    unseeded seedable constructors.
+    """
+    full = _resolve(node.func, aliases)
+    if full is None:
+        return None
+    has_args = bool(node.args or node.keywords)
+    if full in WALL_CLOCK_CALLS:
+        return ("wall-clock read `%s()` in simulator code; "
+                "use the simulated Clock" % full)
+    if full == "random.Random":
+        if not has_args:
+            return ("`random.Random()` without a seed; pass "
+                    "an explicit seed")
+        return None
+    if full.startswith("random."):
+        return ("`%s()` uses the global (unseeded) random "
+                "state; use a seeded `random.Random` "
+                "instance" % full)
+    if full.startswith("numpy.random."):
+        tail = full.rsplit(".", 1)[1]
+        if tail in NUMPY_SEEDABLE:
+            if not has_args:
+                return ("`%s()` without a seed; pass an "
+                        "explicit seed" % full)
+            return None
+        return ("`%s()` uses numpy's global random "
+                "state; use a seeded Generator from "
+                "`default_rng(seed)`" % full)
+    return None
+
+
 class UnseededRandomRule(Rule):
     """Determinism: no global/unseeded RNG state, no wall-clock reads.
 
@@ -85,40 +148,13 @@ class UnseededRandomRule(Rule):
                    "simulated clock, never global random state or wall time")
 
     def check_file(self, source_file):
-        aliases = _import_aliases(source_file.tree)
+        aliases = _import_aliases(source_file.tree, source_file.package)
         for node in ast.walk(source_file.tree):
             if not isinstance(node, ast.Call):
                 continue
-            full = _resolve(node.func, aliases)
-            if full is None:
-                continue
-            has_args = bool(node.args or node.keywords)
-            if full in WALL_CLOCK_CALLS:
-                yield self.finding(source_file, node,
-                                   "wall-clock read `%s()` in simulator code; "
-                                   "use the simulated Clock" % full)
-            elif full == "random.Random":
-                if not has_args:
-                    yield self.finding(source_file, node,
-                                       "`random.Random()` without a seed; pass "
-                                       "an explicit seed")
-            elif full.startswith("random."):
-                yield self.finding(source_file, node,
-                                   "`%s()` uses the global (unseeded) random "
-                                   "state; use a seeded `random.Random` "
-                                   "instance" % full)
-            elif full.startswith("numpy.random."):
-                tail = full.rsplit(".", 1)[1]
-                if tail in NUMPY_SEEDABLE:
-                    if not has_args:
-                        yield self.finding(source_file, node,
-                                           "`%s()` without a seed; pass an "
-                                           "explicit seed" % full)
-                else:
-                    yield self.finding(source_file, node,
-                                       "`%s()` uses numpy's global random "
-                                       "state; use a seeded Generator from "
-                                       "`default_rng(seed)`" % full)
+            message = classify_nondet_call(node, aliases)
+            if message is not None:
+                yield self.finding(source_file, node, message)
 
 
 class FuzzEntropyRule(Rule):
@@ -147,7 +183,7 @@ class FuzzEntropyRule(Rule):
     def check_file(self, source_file):
         if self.SCOPE not in source_file.posix_path:
             return
-        aliases = _import_aliases(source_file.tree)
+        aliases = _import_aliases(source_file.tree, source_file.package)
         for node in ast.walk(source_file.tree):
             if not isinstance(node, ast.Call):
                 continue

@@ -1,5 +1,11 @@
-"""Lint entry point shared by the CLI and the test suite."""
+"""Lint entry point shared by the CLI and the test suite.
 
+Stream discipline (PR 3): findings — text or JSON — go to ``out``
+(stdout), diagnostics such as usage errors go to ``err`` (stderr), so
+``repro lint --format json | jq`` always parses.
+"""
+
+import hashlib
 import json
 import os
 import sys
@@ -12,47 +18,96 @@ def default_lint_paths():
     return [os.path.dirname(os.path.abspath(repro.__file__))]
 
 
-def run_lint(paths=None, fmt="text", out=None, rules=None):
+def default_rules(deep=False):
+    """The configured rule set: per-file, plus the flow rules for deep."""
+    from repro.lint.flow.rules import FLOW_RULES
+    from repro.lint.rules import DEFAULT_RULES
+
+    return DEFAULT_RULES + FLOW_RULES if deep else DEFAULT_RULES
+
+
+def _file_hashes(paths):
+    """(path, content SHA-256) for every file the engine would lint."""
+    from repro.lint.engine import _iter_python_files
+
+    pairs = []
+    for path in _iter_python_files(paths):
+        with open(path, "rb") as handle:
+            content = handle.read()
+        pairs.append((path, hashlib.sha256(content).hexdigest()))
+    return pairs
+
+
+def run_lint(paths=None, fmt="text", out=None, err=None, rules=None,
+             deep=False, cache_dir=None, audit_suppressions=False):
     """Lint ``paths`` and render the findings.
 
     Returns the process exit code: 0 for a clean tree, 1 when findings
-    exist, 2 on usage errors (a path that does not exist).
+    exist (or, under ``audit_suppressions``, when unused suppressions
+    exist), 2 on usage errors (a path that does not exist). With
+    ``cache_dir`` set, an unchanged (file set, rule set) pair is served
+    from the content-hash cache without parsing anything.
     """
     from repro.lint.engine import LintEngine
-    from repro.lint.rules import DEFAULT_RULES
 
     out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
     paths = list(paths) if paths else default_lint_paths()
-    engine = LintEngine(DEFAULT_RULES if rules is None else rules)
+    if rules is None:
+        rules = default_rules(deep)
+    cache = None
+    cache_key = None
+    result = None
     try:
-        findings, checked = engine.run(paths)
+        if cache_dir is not None:
+            from repro.lint.cache import LintCache
+
+            cache = LintCache(cache_dir)
+            cache_key = cache.key_for(_file_hashes(paths),
+                                      [rule.rule_id for rule in rules])
+            result = cache.load(cache_key)
+        if result is None:
+            result = LintEngine(rules).run_detailed(paths)
+            if cache is not None:
+                cache.store(cache_key, result)
     except FileNotFoundError as error:
-        print("lint: %s" % (error,), file=out)
+        print("lint: %s" % (error,), file=err)
         return 2
+    findings = result.findings
+    unused = result.unused_suppressions() if audit_suppressions else []
     if fmt == "json":
         payload = {
-            "checked_files": checked,
+            "checked_files": result.checked,
             "finding_count": len(findings),
             "findings": [f.as_dict() for f in findings],
         }
+        if audit_suppressions:
+            payload["suppressions"] = [s.as_dict()
+                                       for s in result.suppressions]
+            payload["unused_suppression_count"] = len(unused)
         print(json.dumps(payload, indent=2, sort_keys=True), file=out)
     else:
         for finding in findings:
             print(finding.format(), file=out)
+        if audit_suppressions:
+            for suppression in result.suppressions:
+                print(suppression.format(), file=out)
         print("checked %d files: %s" % (
-            checked,
+            result.checked,
             "clean" if not findings else "%d finding%s" % (
                 len(findings), "" if len(findings) == 1 else "s")), file=out)
-    return 1 if findings else 0
+        if unused:
+            print("%d unused suppression%s" % (
+                len(unused), "" if len(unused) == 1 else "s"), file=out)
+    return 1 if findings or unused else 0
 
 
-def list_rules(out=None):
+def list_rules(out=None, deep=True):
     """Print the rule catalogue (id, name, one-line description)."""
     from repro.lint.engine import ParseErrorRule
-    from repro.lint.rules import DEFAULT_RULES
 
     out = out if out is not None else sys.stdout
-    for rule in (ParseErrorRule(),) + tuple(DEFAULT_RULES):
+    for rule in (ParseErrorRule(),) + tuple(default_rules(deep)):
         print("%s  %-18s %s" % (rule.rule_id, rule.name, rule.description),
               file=out)
     return 0

@@ -18,6 +18,7 @@ Three decisions, exactly as the paper frames them:
   grace period with enough TLB-miss pressure to pay for shadowing.
 """
 
+from repro.common.effects import policy_decision
 from repro.obs.events import POLICY_PROMOTE, POLICY_TO_NESTED, POLICY_TO_SHADOW
 from repro.vmm.shadowmgr import NODE_NESTED, NODE_SHADOW
 
@@ -32,6 +33,7 @@ class WriteTriggerPolicy:
         self.interval = interval
         self._windows = {}  # node gfn -> (window_start, count)
 
+    @policy_decision
     def note_write(self, manager, node_gfn, now):
         """Record a mediated write; switch the subtree when triggered.
 
@@ -58,6 +60,7 @@ class SimpleReversionPolicy:
         self.interval = interval
         self._last = 0
 
+    @policy_decision
     def tick(self, manager, hostpt, now):
         """Returns the number of nodes reverted this tick."""
         if now - self._last < self.interval:
@@ -79,6 +82,7 @@ class DirtyBitReversionPolicy:
         self.interval = interval
         self._last = 0
 
+    @policy_decision
     def tick(self, manager, hostpt, now):
         if now - self._last < self.interval:
             return 0
@@ -103,6 +107,7 @@ class DirtyBitReversionPolicy:
 class NoReversionPolicy:
     """Ablation baseline: once nested, always nested."""
 
+    @policy_decision
     def tick(self, manager, hostpt, now):
         return 0
 
@@ -116,6 +121,7 @@ class ShortLivedPolicy:
         self._birth = None
         self.decided = False
 
+    @policy_decision
     def tick(self, manager, now, miss_rate_per_kop):
         """``miss_rate_per_kop``: recent TLB misses per 1000 operations
         (the paper reads this from hardware performance counters)."""
@@ -169,6 +175,7 @@ class ProcessPolicy:
         self.tracer = tracer
         self.pid = pid
 
+    @policy_decision
     def note_write(self, manager, node_gfn, now):
         switched = self.write_trigger.note_write(manager, node_gfn, now)
         if switched:
@@ -181,6 +188,7 @@ class ProcessPolicy:
                               level=meta.level if meta is not None else None)
         return switched
 
+    @policy_decision
     def tick(self, manager, hostpt, now, miss_rate_per_kop):
         promoted = self.short_lived.tick(manager, now, miss_rate_per_kop)
         tracer = self.tracer

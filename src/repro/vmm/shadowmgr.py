@@ -20,6 +20,7 @@ Pure shadow paging is the degenerate case: every node stays in shadow
 mode and no switching bit is ever installed.
 """
 
+from repro.common.effects import mutates
 from repro.common.errors import SimulationError
 from repro.common.params import LEAF_LEVEL, ROOT_LEVEL, level_shift, pt_index
 from repro.mem.pagetable import PageTable
@@ -85,6 +86,7 @@ class ShadowManager:
 
     # -- guest PT structure tracking (observer events) -----------------------
 
+    @mutates("shadow_pt")
     def on_node_allocated(self, node, parent):
         if parent is None:
             mode = NODE_NESTED if self.fully_nested else NODE_SHADOW
@@ -97,9 +99,11 @@ class ShadowManager:
         # The hardware may walk this node's frame: back it in the host PT.
         self.hostpt.ensure_mapped(node.frame)
 
+    @mutates("shadow_pt")
     def on_node_freed(self, node):
         self.node_meta.pop(node.frame, None)
 
+    @mutates("shadow_pt")
     def on_pte_written(self, node, index, old, new):
         """A guest write to its page table landed at ``node[index]``.
 
@@ -118,6 +122,7 @@ class ShadowManager:
         leaf_va = self._sync_shadow(meta, node, index, old, new)
         return "mediated", leaf_va
 
+    @mutates("shadow_pt")
     def _track_link(self, meta, node, index, old, new):
         """Maintain child metadata when an entry links a guest node."""
         if new is None or not new.present or new.huge or node.level == LEAF_LEVEL:
@@ -130,6 +135,7 @@ class ShadowManager:
         child_meta.prefix = meta.prefix | (index << level_shift(node.level))
         child_meta.parent_gfn = node.frame
 
+    @mutates("shadow_pt")
     def _sync_shadow(self, meta, node, index, old, new):
         """Invalidate shadow state affected by one mediated guest write."""
         if meta.prefix is None:
@@ -161,6 +167,7 @@ class ShadowManager:
             node = self.spt.node_at(pte.frame)
         return node
 
+    @mutates("shadow_pt")
     def _zap_position(self, level, va):
         """Clear the shadow entry at (level, va); True if one existed."""
         node = self._descend(level, va)
@@ -174,6 +181,7 @@ class ShadowManager:
 
     # -- shadow fills (ShadowNotPresentFault handling) -------------------------
 
+    @mutates("shadow_pt")
     def fill_for(self, va):
         """Resolve a shadow not-present fault for ``va``.
 
@@ -214,6 +222,7 @@ class ShadowManager:
             raise SimulationError("guest PT node %d vanished" % gfn)
         return node
 
+    @mutates("shadow_pt")
     def _install_leaf(self, va, level, gpte):
         """Merge one guest leaf with the host table into the shadow table.
 
@@ -258,6 +267,8 @@ class ShadowManager:
             return gfn_4k - ((va >> 12) & (span - 1)), leaf_level
         return gpte.frame, leaf_level
 
+    @mutates("shadow_pt")
+    @mutates("switching_bits")
     def _install_switch(self, va, level, child_gfn):
         """Install the switching-bit entry at (level, va) -> guest node."""
         snode = self.spt.ensure_path(va, level)
@@ -269,6 +280,7 @@ class ShadowManager:
 
     # -- dirty-bit protocol (ShadowProtectionFault handling) ----------------------
 
+    @mutates("shadow_pt")
     def protection_fix(self, va):
         """Resolve a write to a read-only shadow leaf.
 
@@ -314,6 +326,8 @@ class ShadowManager:
 
     # -- agile mode transitions -------------------------------------------------
 
+    @mutates("shadow_pt")
+    @mutates("switching_bits")
     def switch_to_nested(self, node_gfn):
         """Move one guest PT node (and its whole subtree) to nested mode.
 
@@ -340,6 +354,8 @@ class ShadowManager:
         self.inval.flush_pwc()
         return True
 
+    @mutates("shadow_pt")
+    @mutates("switching_bits")
     def revert_to_shadow(self, node_gfn):
         """Move one node back to shadow mode (nested=>shadow).
 
@@ -369,6 +385,7 @@ class ShadowManager:
         self.inval.flush_pwc()
         return True
 
+    @mutates("shadow_pt")
     def _rebuild_node(self, node_gfn, meta):
         """Eagerly re-merge one guest node's entries into the shadow table.
 
@@ -401,6 +418,8 @@ class ShadowManager:
                     rebuilt += 1
         return rebuilt
 
+    @mutates("shadow_pt")
+    @mutates("switching_bits")
     def revert_all(self):
         """The simple reversion policy: everything back to shadow mode."""
         reverted = 0
@@ -433,6 +452,7 @@ class ShadowManager:
                     stack.append(pte.frame)
         return result
 
+    @mutates("shadow_pt")
     def rebuild_full(self, page_table):
         """Merge *every* guest mapping into the shadow table.
 
@@ -451,6 +471,8 @@ class ShadowManager:
 
     # -- start-in-nested (short-lived process) policy -----------------------------
 
+    @mutates("shadow_pt")
+    @mutates("switching_bits")
     def enable_shadow_coverage(self):
         """Leave fully-nested mode: agile paging proper begins.
 

@@ -15,6 +15,7 @@ techniques ... [agile] exceeds the best of shadow and nested paging";
 the ablation benchmark reproduces exactly that comparison.
 """
 
+from repro.common.effects import policy_decision
 from repro.vmm import traps as T
 
 # Cycles to merge one guest mapping into the shadow table during a full
@@ -68,6 +69,7 @@ class SHSPController:
     def note_pt_write(self):
         self.window.pt_writes += 1
 
+    @policy_decision
     def decide(self, now, resident_pages):
         """Returns the technique to use from now on (may be unchanged)."""
         if now - self._last_decision < self.interval:

@@ -12,6 +12,7 @@ Figure 5's "VMM intervention" bars can be regenerated directly.
 """
 
 from repro.common.config import MODE_AGILE, MODE_NESTED, MODE_SHADOW, MODE_SHSP
+from repro.common.effects import policy_decision, trap_handler
 from repro.common.errors import SimulationError
 from repro.common.params import LEAF_LEVEL, ROOT_LEVEL, pt_index
 from repro.guest.kernel import GuestPlatform
@@ -157,6 +158,7 @@ class VMM(GuestPlatform):
         if state.manager is not None:
             state.ctx.sptr = state.manager.spt.root_frame
 
+    @trap_handler
     def process_destroyed(self, proc):
         state = self.states.pop(proc.pid, None)
         if state is None:
@@ -169,6 +171,7 @@ class VMM(GuestPlatform):
 
     # -- GuestPlatform: TLB maintenance and CR3 ------------------------------------
 
+    @trap_handler
     def invlpg(self, proc, va):
         """Guest INVLPG: free under nested mode, a trap under shadow
         coverage (the paper's "one [VMtrap] to force a TLB flush")."""
@@ -182,11 +185,13 @@ class VMM(GuestPlatform):
             if state is not None and self._shsp_technique(state) == TECH_SHADOW:
                 self._trap(T.INVLPG, self.cost.vmtrap_base_cycles)
 
+    @trap_handler
     def flush_tlb(self, proc):
         self.mmu.invalidate_asid(proc.asid)
         if self._needs_shadow():
             self._trap(T.INVLPG, self.cost.vmtrap_base_cycles)
 
+    @trap_handler
     def context_switch(self, old, new):
         """Guest CR3 write.
 
@@ -236,15 +241,18 @@ class VMM(GuestPlatform):
 
     # -- guest PT observer events ------------------------------------------------------
 
+    @trap_handler
     def _on_gpt_node_allocated(self, pid, node, parent):
         state = self.states[pid]
         state.manager.on_node_allocated(node, parent)
 
+    @trap_handler
     def _on_gpt_node_freed(self, pid, node):
         state = self.states.get(pid)
         if state is not None and state.manager is not None:
             state.manager.on_node_freed(node)
 
+    @trap_handler
     def _on_gpt_write(self, pid, node, index, old, new):
         state = self.states[pid]
         kind, leaf_va = state.manager.on_pte_written(node, index, old, new)
@@ -267,6 +275,7 @@ class VMM(GuestPlatform):
 
     # -- VM exit handlers (walker faults) --------------------------------------------------
 
+    @trap_handler
     def handle_host_fault(self, proc, fault):
         """EPT-violation analogue: back the gfn (or resolve host COW)."""
         gfn = fault.gpa >> 12
@@ -279,6 +288,7 @@ class VMM(GuestPlatform):
         self._paranoid_after_trap(proc.pid, fault.va)
         return "retry"
 
+    @trap_handler
     def handle_shadow_fault(self, proc, fault):
         """Shadow not-present: merge an entry, or inject a guest #PF."""
         state = self.states[proc.pid]
@@ -289,6 +299,7 @@ class VMM(GuestPlatform):
             return "guest_fault"
         return "retry"
 
+    @trap_handler
     def handle_shadow_protection(self, proc, fault):
         """Write to a read-only shadow leaf: A/D protocol or guest COW.
 
@@ -336,6 +347,7 @@ class VMM(GuestPlatform):
         """Recent TLB miss pressure, fed by the simulator each epoch."""
         self._miss_rate_per_kop = miss_rate_per_kop
 
+    @policy_decision
     def policy_tick(self):
         """Run periodic policy work for every agile process."""
         if self.mode == MODE_SHSP:
@@ -361,6 +373,7 @@ class VMM(GuestPlatform):
             self.clock.advance(cycles)
         return reverted
 
+    @policy_decision
     def _shsp_tick(self):
         """SHSP decision epoch: pick one technique per process."""
         misses = self.mmu.counters.tlb_misses
@@ -382,6 +395,7 @@ class VMM(GuestPlatform):
                 switched += 1
         return switched
 
+    @policy_decision
     def _shsp_switch(self, state, technique):
         """Move one whole process between the two constituent modes."""
         manager = state.manager
@@ -402,6 +416,7 @@ class VMM(GuestPlatform):
 
     # -- host-level content-based page sharing (Section V) -----------------------
 
+    @trap_handler
     def host_share_pages(self, gfns, cycles_per_page=200):
         """VMM-initiated page sharing: write-protect guest frames.
 

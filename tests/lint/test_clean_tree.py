@@ -1,17 +1,50 @@
 """The shipped tree must lint clean — this is what makes the lint
 suite load-bearing: any rule violation introduced in ``src/repro``
-fails tier-1, not just the optional ``python -m repro lint`` run."""
+fails tier-1, not just the optional ``python -m repro lint`` run.
+
+The deep variant runs the whole-program rules too, and the mutation
+test proves the effect system is live: stripping one ``@trap_handler``
+annotation from a VMM entry point must produce a REPRO401 finding.
+"""
 
 import os
+import shutil
 
 import repro
+from repro.lint import DEEP_RULES
 from repro.lint.engine import LintEngine
 from repro.lint.rules import DEFAULT_RULES
 
 
+def _package_dir():
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
 def test_repro_package_lints_clean():
-    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
     engine = LintEngine(DEFAULT_RULES)
-    findings, checked = engine.run([package_dir])
+    findings, checked = engine.run([_package_dir()])
     assert checked > 20  # sanity: the walk actually found the package
     assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_repro_package_deep_lints_clean():
+    engine = LintEngine(DEEP_RULES)
+    findings, checked = engine.run([_package_dir()])
+    assert checked > 20
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_stripping_a_trap_handler_fails_deep_lint(tmp_path):
+    """The acceptance mutation: remove one @trap_handler → REPRO401."""
+    mutant = tmp_path / "repro"
+    shutil.copytree(_package_dir(), mutant,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    vmm_path = mutant / "vmm" / "vmm.py"
+    source = vmm_path.read_text()
+    needle = "    @trap_handler\n    def handle_shadow_fault"
+    assert needle in source  # the annotation this test depends on
+    vmm_path.write_text(source.replace(
+        needle, "    def handle_shadow_fault"))
+    findings, _checked = LintEngine(DEEP_RULES).run([str(mutant)])
+    assert [f.rule_id for f in findings] == ["REPRO401"]
+    assert "handle_shadow_fault" in findings[0].message

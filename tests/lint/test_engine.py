@@ -91,9 +91,11 @@ class TestOutput:
 
     def test_missing_path_is_usage_error(self, tmp_path):
         out = io.StringIO()
-        rc = run_lint([str(tmp_path / "nope")], out=out)
+        err = io.StringIO()
+        rc = run_lint([str(tmp_path / "nope")], out=out, err=err)
         assert rc == 2
-        assert "lint:" in out.getvalue()
+        assert "lint:" in err.getvalue()
+        assert out.getvalue() == ""
 
     def test_list_rules_prints_catalogue(self):
         out = io.StringIO()

@@ -30,6 +30,20 @@ class TestUnseededRandom:
         )})
         assert len(findings) == 2
 
+    def test_tracks_dotted_module_alias_chains(self, tmp_path):
+        # `import x.y as z` binds z to the full dotted path, so both the
+        # aliased wall clock and the aliased numpy global state resolve.
+        findings = lint_sources(tmp_path, {"bad.py": (
+            "import time as clock\n"
+            "import numpy.random as nr\n"
+            "t = clock.perf_counter()\n"
+            "r = nr.rand(3)\n"
+        )})
+        assert len(findings) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "time.perf_counter" in messages
+        assert "numpy.random.rand" in messages
+
     def test_seeded_constructions_are_clean(self, tmp_path):
         findings = lint_sources(tmp_path, {"good.py": (
             "import random\n"

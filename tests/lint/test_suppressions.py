@@ -1,0 +1,135 @@
+"""The ``# repro: noqa[...]`` spelling and the suppression audit."""
+
+import io
+import os
+
+import repro
+from repro.cli import main as cli_main
+from repro.lint.engine import LintEngine
+from repro.lint.rules import DEFAULT_RULES
+from repro.lint.runner import run_lint
+
+from .helpers import lint_sources
+
+BAD = "def f(a=[]):\n    return a\n"
+
+
+class TestNoqaSyntax:
+    def test_noqa_by_id_name_and_all(self, tmp_path):
+        findings = lint_sources(tmp_path, {"s.py": (
+            "def f(a=[]):  # repro: noqa[REPRO102]\n"
+            "    return a\n"
+            "def g(b=[]):  # repro: noqa[mutable-default]\n"
+            "    return b\n"
+            "def h(c=[]):  # repro: noqa[all]\n"
+            "    return c\n"
+        )})
+        assert findings == []
+
+    def test_noqa_accepts_comma_separated_names(self, tmp_path):
+        findings = lint_sources(tmp_path, {"s.py": (
+            "def f(a=[]):  # repro: noqa[REPRO101, REPRO102]\n"
+            "    return a\n"
+        )})
+        assert findings == []
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        findings = lint_sources(tmp_path, {"s.py": (
+            "def f(a=[]):  # repro: noqa[REPRO103]\n"
+            "    return a\n"
+        )})
+        assert len(findings) == 1
+
+
+class TestAudit:
+    def test_unused_suppression_fails_the_audit(self, tmp_path):
+        (tmp_path / "clean.py").write_text(
+            "x = 1  # repro: noqa[REPRO102]\n")
+        out = io.StringIO()
+        rc = run_lint([str(tmp_path)], out=out, audit_suppressions=True)
+        assert rc == 1
+        assert "UNUSED" in out.getvalue()
+        assert "1 unused suppression" in out.getvalue()
+
+    def test_used_suppression_passes_the_audit(self, tmp_path):
+        (tmp_path / "quiet.py").write_text(
+            "def f(a=[]):  # repro: noqa[REPRO102]\n"
+            "    return a\n")
+        out = io.StringIO()
+        rc = run_lint([str(tmp_path)], out=out, audit_suppressions=True)
+        assert rc == 0
+        assert "[used]" in out.getvalue()
+        assert "UNUSED" not in out.getvalue()
+
+    def test_without_audit_unused_suppressions_are_tolerated(self, tmp_path):
+        (tmp_path / "clean.py").write_text(
+            "x = 1  # repro: noqa[REPRO102]\n")
+        out = io.StringIO()
+        assert run_lint([str(tmp_path)], out=out) == 0
+
+    def test_audit_json_payload_lists_suppressions(self, tmp_path):
+        import json
+
+        (tmp_path / "quiet.py").write_text(
+            "def f(a=[]):  # repro: noqa[REPRO102]\n"
+            "    return a\n")
+        out = io.StringIO()
+        rc = run_lint([str(tmp_path)], fmt="json", out=out,
+                      audit_suppressions=True)
+        assert rc == 0
+        payload = json.loads(out.getvalue())
+        assert payload["unused_suppression_count"] == 0
+        assert len(payload["suppressions"]) == 1
+        assert payload["suppressions"][0]["used"] is True
+
+    def test_suppressions_survive_unparsable_files(self, tmp_path):
+        (tmp_path / "broken.py").write_text(
+            "def f(:  # repro: noqa[REPRO102]\n")
+        engine = LintEngine(DEFAULT_RULES)
+        result = engine.run_detailed([str(tmp_path)])
+        assert [f.rule_id for f in result.findings] == ["REPRO001"]
+        assert len(result.suppressions) == 1
+        assert not result.suppressions[0].used
+
+    def test_shipped_tree_passes_the_audit(self):
+        package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        out = io.StringIO()
+        rc = run_lint([package_dir], out=out, deep=True,
+                      audit_suppressions=True)
+        assert rc == 0, out.getvalue()
+        # The two known wall-clock suppressions register as used.
+        assert out.getvalue().count("[used]") >= 2
+
+
+class TestCLI:
+    def test_audit_flag_and_check_alias(self, tmp_path):
+        (tmp_path / "clean.py").write_text(
+            "x = 1  # repro: noqa[REPRO102]\n")
+        out = io.StringIO()
+        rc = cli_main(["lint", "--no-cache", "--audit-suppressions",
+                       str(tmp_path)], out=out)
+        assert rc == 1
+        out = io.StringIO()
+        assert cli_main(["check", "--no-cache", str(tmp_path)], out=out) == 0
+
+    def test_check_runs_the_deep_rules(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "vmm").mkdir(parents=True)
+        (pkg / "core").mkdir()
+        for init in (pkg, pkg / "vmm", pkg / "core"):
+            (init / "__init__.py").write_text("")
+        (pkg / "vmm" / "mgr.py").write_text(
+            "class M:\n"
+            "    @mutates(\"shadow_pt\")\n"
+            "    def fill(self):\n"
+            "        pass\n")
+        (pkg / "core" / "m.py").write_text(
+            "class C:\n"
+            "    def go(self):\n"
+            "        self.m.fill()\n")
+        out = io.StringIO()
+        assert cli_main(["lint", "--no-cache", str(pkg)], out=out) == 0
+        out = io.StringIO()
+        rc = cli_main(["check", "--no-cache", str(pkg)], out=out)
+        assert rc == 1
+        assert "REPRO401" in out.getvalue()
