@@ -514,7 +514,9 @@ def cmd_lint(args, out, err):
     cache_dir = None if args.no_cache else args.cache_dir
     return run_lint(args.paths or None, fmt=args.format, out=out, err=err,
                     deep=args.deep, cache_dir=cache_dir,
-                    audit_suppressions=args.audit_suppressions)
+                    audit_suppressions=args.audit_suppressions,
+                    baseline=args.baseline,
+                    write_baseline=args.write_baseline)
 
 
 def cmd_check(args, out, err):
@@ -712,9 +714,16 @@ def build_parser():
         p.add_argument(
             "paths", nargs="*",
             help="files/directories to lint (default: the repro package)")
-        p.add_argument("--format", choices=("text", "json"), default="text")
+        p.add_argument("--format", choices=("text", "json", "sarif"),
+                       default="text")
         p.add_argument("--list-rules", action="store_true",
                        help="print the rule catalogue and exit")
+        p.add_argument("--baseline", default=None, metavar="FILE",
+                       help="tolerate findings recorded in FILE; fail only "
+                            "on new ones (the ratchet)")
+        p.add_argument("--write-baseline", action="store_true",
+                       help="record the current findings into --baseline "
+                            "and exit 0")
         if not deep_default:
             p.add_argument("--deep", action="store_true",
                            help="also run the whole-program flow rules "

@@ -10,6 +10,8 @@ machine config) and is an ablation axis.
 
 from collections import OrderedDict
 
+from repro.common.addrspace import returns, takes
+
 
 class NestedTLBStats:
     __slots__ = ("hits", "misses")
@@ -29,6 +31,8 @@ class NestedTLB:
         self._entries = OrderedDict()  # gfn -> (hfn, writable, dirty)
         self.stats = NestedTLBStats()
 
+    @takes(gfn="gfn")
+    @returns("hfn", None, None)
     def lookup(self, gfn, is_write):
         """Cached (hfn, writable, dirty) for ``gfn`` or None.
 
@@ -48,12 +52,14 @@ class NestedTLB:
         self.stats.hits += 1
         return hit
 
+    @takes(gfn="gfn", hfn="hfn")
     def insert(self, gfn, hfn, writable, dirty):
         if gfn not in self._entries and len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
         self._entries[gfn] = (hfn, writable, dirty)
         self._entries.move_to_end(gfn)
 
+    @takes(gfn="gfn")
     def invalidate_gfn(self, gfn):
         self._entries.pop(gfn, None)
 

@@ -18,13 +18,16 @@ and enforces the interprocedural contracts: the effect system over
 shadow-PT and switching-bit mutations (REPRO401/402), determinism
 *taint* through helper layers (REPRO403), event-taxonomy and dispatch
 exhaustiveness (REPRO404/405), the architecture layer map (REPRO501),
-and dead/phantom config keys (REPRO502).
+and dead/phantom config keys (REPRO502) — plus ``repro.lint.domains``,
+the address-domain typestate analysis proving gVA/gPA/hPA values never
+mix (REPRO601–605, over the ``repro.common.addrspace`` annotations).
 
 Run it as ``python -m repro lint [paths]`` (or via the ``repro`` console
 script); the pytest suite runs it over ``src/`` so tier-1 enforces a
 clean tree. See ``docs/static_analysis.md``.
 """
 
+from repro.lint.domains.rules import DOMAIN_RULES
 from repro.lint.engine import (
     Finding,
     LintEngine,
@@ -37,8 +40,9 @@ from repro.lint.flow.rules import FLOW_RULES
 from repro.lint.rules import DEFAULT_RULES
 from repro.lint.runner import run_lint
 
-#: The ``--deep`` rule set: every per-file rule plus the flow rules.
-DEEP_RULES = DEFAULT_RULES + FLOW_RULES
+#: The ``--deep`` rule set: every per-file rule plus the whole-program
+#: flow and address-domain rules.
+DEEP_RULES = DEFAULT_RULES + FLOW_RULES + DOMAIN_RULES
 
 __all__ = [
     "Finding",
@@ -49,6 +53,7 @@ __all__ = [
     "ProjectRule",
     "DEFAULT_RULES",
     "FLOW_RULES",
+    "DOMAIN_RULES",
     "DEEP_RULES",
     "run_lint",
 ]

@@ -1,0 +1,90 @@
+"""The REPRO601–REPRO605 address-domain rules.
+
+All five query the one memoized :func:`analyze_domains` report (the
+same share-one-analysis idiom as the flow rules and
+:func:`build_program`), so running the full set costs one abstract
+interpretation of the tree.
+"""
+
+from repro.lint.domains.infer import (
+    CLOSURE,
+    CROSS_DOMAIN,
+    FRAME_BYTE,
+    UNTRANSLATED,
+    WRONG_ARGUMENT,
+    analyze_domains,
+)
+from repro.lint.engine import Finding, ProjectRule
+
+
+class _DomainRule(ProjectRule):
+    """Base: render this rule's slice of the shared domain report."""
+
+    rule_key = None
+
+    def check_project(self, source_files):
+        report = analyze_domains(source_files)
+        for finding in report.by_rule(self.rule_key):
+            yield Finding(self.rule_id, self.name, finding.path,
+                          finding.lineno, finding.col, finding.message)
+
+
+class CrossDomainArithmeticRule(_DomainRule):
+    """gVA/gPA/hPA values never meet in arithmetic or comparisons."""
+
+    rule_id = "REPRO601"
+    name = "cross-domain-arith"
+    description = ("arithmetic/comparison mixes two address spaces "
+                   "(e.g. gpa == hpa)")
+    rule_key = CROSS_DOMAIN
+
+
+class WrongDomainArgumentRule(_DomainRule):
+    """Annotated call sites receive the declared address domain."""
+
+    rule_id = "REPRO602"
+    name = "wrong-domain-arg"
+    description = ("an argument's inferred address domain contradicts "
+                   "the callee's @takes/@translates declaration")
+    rule_key = WRONG_ARGUMENT
+
+
+class UntranslatedGuestAddressRule(_DomainRule):
+    """Guest addresses reach RAM only through a declared translator."""
+
+    rule_id = "REPRO603"
+    name = "untranslated-guest-addr"
+    description = ("an untranslated guest address reaches a physical-"
+                   "memory accessor (guest_mem/host_mem are typed)")
+    rule_key = UNTRANSLATED
+
+
+class FrameByteConfusionRule(_DomainRule):
+    """Frame numbers and byte addresses never substitute for each other."""
+
+    rule_id = "REPRO604"
+    name = "frame-byte-confusion"
+    description = ("frame-number vs byte-address mix-up: double page-"
+                   "shift, or indexing RAM with a byte address")
+    rule_key = FRAME_BYTE
+
+
+class TranslatorClosureRule(_DomainRule):
+    """@translates declarations close over the paper's pipeline."""
+
+    rule_id = "REPRO605"
+    name = "translator-closure"
+    description = ("every @translates pair is a real gVA→gPA→hPA edge, "
+                   "reachable from the walker, and the implementing "
+                   "modules declare theirs")
+    rule_key = CLOSURE
+
+
+#: The address-domain rule set, appended to ``repro check`` / ``--deep``.
+DOMAIN_RULES = (
+    CrossDomainArithmeticRule(),
+    WrongDomainArgumentRule(),
+    UntranslatedGuestAddressRule(),
+    FrameByteConfusionRule(),
+    TranslatorClosureRule(),
+)

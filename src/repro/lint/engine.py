@@ -236,6 +236,22 @@ def _iter_python_files(paths):
     return sorted(seen)
 
 
+def read_sources(paths):
+    """Read every lintable file under ``paths`` exactly once.
+
+    Returns sorted ``(path, source)`` pairs. This is the single
+    read-from-disk step of a lint run: the runner hashes these strings
+    for cache keying and the engine parses the same strings, so no file
+    is opened twice (PR 6 — previously the cache key re-read every
+    file the engine was about to read).
+    """
+    pairs = []
+    for path in _iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            pairs.append((path, handle.read()))
+    return pairs
+
+
 def _scan_suppressions(path, source):
     """Every suppression marker in one file, as {line: Suppression}."""
     suppressions = {}
@@ -265,16 +281,21 @@ class LintEngine:
         result = self.run_detailed(paths)
         return result.findings, result.checked
 
-    def run_detailed(self, paths):
-        """Lint ``paths``; returns a full :class:`LintResult`."""
+    def run_detailed(self, paths, sources=None):
+        """Lint ``paths``; returns a full :class:`LintResult`.
+
+        ``sources`` may carry pre-read ``(path, source)`` pairs (from
+        :func:`read_sources`) so a caller that already read the files —
+        the runner hashes them for the cache key — shares one read.
+        """
         findings = []
         source_files = []
         suppressions = {}  # path -> {line: Suppression}
         checked = 0
-        for path in _iter_python_files(paths):
+        if sources is None:
+            sources = read_sources(paths)
+        for path, source in sources:
             checked += 1
-            with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
             suppressions[path] = _scan_suppressions(path, source)
             try:
                 tree = ast.parse(source, filename=path)

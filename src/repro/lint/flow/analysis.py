@@ -41,7 +41,7 @@ class FunctionInfo:
     """One module-level function or method: summary + call sites."""
 
     __slots__ = ("qualname", "module", "cls", "name", "path", "lineno",
-                 "effects", "calls", "nondet_sources")
+                 "effects", "calls", "nondet_sources", "node")
 
     def __init__(self, qualname, module, cls, name, path, lineno, effects):
         self.qualname = qualname
@@ -54,6 +54,10 @@ class FunctionInfo:
         self.calls = []
         #: Direct nondeterminism reads inside this body: [(lineno, message)].
         self.nondet_sources = []
+        #: The function's AST node, so downstream passes (the address-
+        #: domain analysis in ``repro.lint.domains``) can walk the body
+        #: without re-parsing anything.
+        self.node = None
 
 
 class CallSite:
@@ -85,7 +89,7 @@ class Program:
     """The whole-program view the flow rules run over."""
 
     __slots__ = ("functions", "modules", "module_functions", "classes",
-                 "methods_by_name", "files_by_module")
+                 "methods_by_name", "files_by_module", "aliases_by_module")
 
     def __init__(self):
         self.functions = {}          # qualname -> FunctionInfo
@@ -94,6 +98,7 @@ class Program:
         self.classes = {}            # (module, cls) -> {method: qualname}
         self.methods_by_name = {}    # method name -> (qualname, ...)
         self.files_by_module = {}    # module name -> SourceFile
+        self.aliases_by_module = {}  # module name -> import alias map
 
     def callers_of(self, ambiguous_ok):
         """Reverse edge map {callee qualname: set(caller qualnames)}."""
@@ -166,6 +171,7 @@ def _collect_definitions(source_file, program):
             info = FunctionInfo(qualname, module, None, node.name,
                                 source_file.path, node.lineno,
                                 _decorator_effects(node))
+            info.node = node
             program.functions[qualname] = info
             program.module_functions[(module, node.name)] = qualname
             raw.append(_RawFunction(info, node))
@@ -179,6 +185,7 @@ def _collect_definitions(source_file, program):
                 info = FunctionInfo(qualname, module, node.name, item.name,
                                     source_file.path, item.lineno,
                                     _decorator_effects(item))
+                info.node = item
                 program.functions[qualname] = info
                 methods[item.name] = qualname
                 raw.append(_RawFunction(info, item))
@@ -255,6 +262,7 @@ def _resolve_call(call, info, aliases, program):
 def _analyze_bodies(source_file, raw_functions, program):
     """Pass 2: call sites and direct nondeterminism sources per function."""
     aliases = _import_aliases(source_file.tree, source_file.package)
+    program.aliases_by_module[source_file.module_name] = aliases
     for raw in raw_functions:
         info = raw.info
         for node in ast.walk(raw.node):

@@ -11,6 +11,8 @@ Sampling is batched through numpy for speed; iteration stays cheap.
 
 import numpy as np
 
+from repro.common.addrspace import returns
+
 
 class UniformSampler:
     """Uniform random pages: the TLB-hostile worst case."""
@@ -21,6 +23,7 @@ class UniformSampler:
         self.npages = npages
         self._rng = rng
 
+    @returns("vpn")
     def sample(self, n):
         return self._rng.integers(0, self.npages, size=n)
 
@@ -46,6 +49,7 @@ class ZipfSampler:
         self._cdf /= self._cdf[-1]
         self._mapping = rng.permutation(npages)
 
+    @returns("vpn")
     def sample(self, n):
         uniform = self._rng.random(n)
         ranks = np.searchsorted(self._cdf, uniform)
@@ -62,6 +66,7 @@ class SequentialScanner:
         self.stride = stride
         self._position = start % npages
 
+    @returns("vpn")
     def sample(self, n):
         indices = (self._position + self.stride * np.arange(n)) % self.npages
         self._position = int((self._position + self.stride * n) % self.npages)
@@ -84,6 +89,7 @@ class PointerChase:
         self._next[order] = np.roll(order, -1)
         self._position = int(order[0])
 
+    @returns("vpn")
     def sample(self, n):
         out = np.empty(n, dtype=np.int64)
         position = self._position
@@ -106,6 +112,7 @@ class MixtureSampler:
         self._cum = np.cumsum([w / total for w in weights])
         self._rng = rng
 
+    @returns("vpn")
     def sample(self, n):
         choices = np.searchsorted(self._cum, self._rng.random(n))
         out = np.empty(n, dtype=np.int64)

@@ -1,0 +1,39 @@
+"""Editing the domain analyzer invalidates cached lint results.
+
+The :class:`~repro.lint.cache.LintCache` key folds in a recursive code
+fingerprint of the ``repro.lint`` package; the ``domains`` subpackage is
+new in PR 6, so this pins that an edit there (a rule tweak, a new
+transfer function) flips the key and forces a cold re-analysis rather
+than serving findings the old analyzer produced.
+"""
+
+import shutil
+
+import repro.lint.cache as cache_module
+from repro.lint.cache import LintCache
+from repro.runner.fingerprint import clear_fingerprint_cache
+
+
+def test_editing_domains_package_changes_cache_key(tmp_path, monkeypatch):
+    copy = tmp_path / "lintpkg"
+    shutil.copytree(cache_module._lint_package_root(), copy,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    assert (copy / "domains" / "infer.py").is_file()
+
+    monkeypatch.setattr(cache_module, "_lint_package_root",
+                        lambda: str(copy))
+    cache = LintCache(str(tmp_path / "cache"))
+    hashes = [("mod.py", "abc")]
+
+    clear_fingerprint_cache()
+    key_before = cache.key_for(hashes, ["REPRO601"])
+    # Fingerprints memoize per process; same tree, same key.
+    assert cache.key_for(hashes, ["REPRO601"]) == key_before
+
+    infer = copy / "domains" / "infer.py"
+    infer.write_text(infer.read_text() + "\n_TWEAKED = True\n")
+    clear_fingerprint_cache()
+    key_after = cache.key_for(hashes, ["REPRO601"])
+    assert key_after != key_before
+
+    clear_fingerprint_cache()  # don't leak the copy's entry to other tests
