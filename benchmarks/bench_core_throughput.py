@@ -1,0 +1,177 @@
+"""Headline core-throughput benchmark: fastpath vs reference.
+
+Times identical access streams through both simulation cores — the
+reference per-op ``System.access`` loop and the fastpath
+``FastSystem.access_batch`` dispatch — across all four paging modes and
+several stream shapes, asserting bit-identical ``RunMetrics`` along the
+way (a benchmark that drifts from the reference would be measuring a
+different machine). Writes ``BENCH_core_throughput.json`` at the repo
+root so every later PR shows its speed delta.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_core_throughput.py [--ops N]
+
+The tier-1 smoke gate lives in ``tests/fastpath/test_bench_smoke.py``:
+it runs :func:`run_core_throughput` in smoke mode and fails if any
+mode's best speedup drops below ``SPEEDUP_GATE``.
+"""
+
+import argparse
+import json
+import math
+import os
+import random
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.common.config import ALL_MODES, sandy_bridge_config  # noqa: E402
+from repro.core.machine import System  # noqa: E402
+
+SCHEMA = 1
+# The tier-1 gate (enforced in CI smoke mode) and the ROADMAP goal
+# (reported in the JSON, not gated: interpreter speed varies by host).
+SPEEDUP_GATE = 3.0
+SPEEDUP_GOAL = 10.0
+
+# Stream shapes: (name, working-set pages, hot pages, hot fraction).
+# "hot" models a tight loop (TLB-MRU residency), "l1" an L1-resident
+# working set, "l2" an L2-resident one with regular L1 refills.
+SCENARIOS = (
+    ("hot", 64, 8, 1.0),
+    ("l1", 64, 48, 1.0),
+    ("l2", 512, 480, 1.0),
+    ("mixed", 1024, 480, 0.95),
+)
+SMOKE_SCENARIOS = ("hot", "l1")
+
+
+def _build(mode, core, pages):
+    system = System(sandy_bridge_config(mode, core=core))
+    proc = system.kernel.create_process()
+    base = system.kernel.mmap(proc, size=pages * 4096)
+    return system, base
+
+
+def _stream(base, pages, hot, hot_fraction, ops, seed):
+    rng = random.Random(seed)
+    vas = []
+    append = vas.append
+    for _ in range(ops):
+        if hot_fraction >= 1.0 or rng.random() < hot_fraction:
+            append(base + 4096 * rng.randrange(hot))
+        else:
+            append(base + 4096 * rng.randrange(pages))
+    return vas
+
+
+def _time_pair(mode, scenario, ops, repeat, seed):
+    """Best-of-``repeat`` timings for one (mode, scenario) cell."""
+    name, pages, hot, hot_fraction = scenario
+    best_ref = best_fast = math.inf
+    for attempt in range(repeat):
+        ref, base = _build(mode, "reference", pages)
+        fast, fast_base = _build(mode, "fastpath", pages)
+        assert base == fast_base
+        vas = _stream(base, pages, hot, hot_fraction, ops, seed + attempt)
+        warm = vas[: max(1000, ops // 20)]
+        for va in warm:
+            ref.access(va)
+        fast.access_batch(warm)
+        start = time.perf_counter()
+        access = ref.access
+        for va in vas:
+            access(va)
+        ref_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        fast.access_batch(vas)
+        fast_elapsed = time.perf_counter() - start
+        ref_metrics = ref.collect_metrics().to_dict()
+        fast_metrics = fast.collect_metrics().to_dict()
+        if ref_metrics != fast_metrics:
+            diverged = sorted(k for k in ref_metrics
+                              if ref_metrics[k] != fast_metrics[k])
+            raise AssertionError(
+                "cores diverged on %s/%s: %s" % (mode, name, diverged))
+        best_ref = min(best_ref, ref_elapsed)
+        best_fast = min(best_fast, fast_elapsed)
+    return {
+        "scenario": name,
+        "ops": ops,
+        "reference_ops_per_sec": round(ops / best_ref),
+        "fastpath_ops_per_sec": round(ops / best_fast),
+        "speedup": round(best_ref / best_fast, 2),
+    }
+
+
+def run_core_throughput(ops=200_000, repeat=2, seed=11, modes=ALL_MODES,
+                        scenarios=None):
+    """Run the full grid; returns the JSON-ready report dict."""
+    wanted = scenarios
+    grid = [s for s in SCENARIOS if wanted is None or s[0] in wanted]
+    results = {}
+    for mode in modes:
+        cells = [_time_pair(mode, scenario, ops, repeat, seed)
+                 for scenario in grid]
+        best = max(cell["speedup"] for cell in cells)
+        results[mode] = {"scenarios": cells, "best_speedup": best}
+    speedups = [cell["speedup"]
+                for mode in results for cell in results[mode]["scenarios"]]
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    return {
+        "schema": SCHEMA,
+        "benchmark": "core_throughput",
+        "ops_per_cell": ops,
+        "repeat": repeat,
+        "gate_speedup": SPEEDUP_GATE,
+        "goal_speedup": SPEEDUP_GOAL,
+        "modes": results,
+        "summary": {
+            "geomean_speedup": round(geomean, 2),
+            "min_best_speedup": min(results[m]["best_speedup"]
+                                    for m in results),
+            "max_speedup": max(speedups),
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=200_000,
+                        help="accesses timed per cell")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="attempts per cell (best-of)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid, no file written")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="output path (default: repo-root "
+                             "BENCH_core_throughput.json)")
+    args = parser.parse_args(argv)
+    report = run_core_throughput(
+        ops=args.ops, repeat=args.repeat,
+        scenarios=SMOKE_SCENARIOS if args.smoke else None)
+    for mode, data in report["modes"].items():
+        for cell in data["scenarios"]:
+            print("%-7s %-6s ref %8d ops/s   fast %8d ops/s   %5.2fx"
+                  % (mode, cell["scenario"], cell["reference_ops_per_sec"],
+                     cell["fastpath_ops_per_sec"], cell["speedup"]))
+    print("geomean %.2fx, best %.2fx (gate %.1fx, goal %.1fx)"
+          % (report["summary"]["geomean_speedup"],
+             report["summary"]["max_speedup"],
+             SPEEDUP_GATE, SPEEDUP_GOAL))
+    if not args.smoke:
+        out = args.out or os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..",
+            "BENCH_core_throughput.json")
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("report written to %s" % os.path.normpath(out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""The fastpath simulation core: batched access over flat-array stores.
+
+``FastSystem`` is a drop-in :class:`~repro.core.machine.System` whose
+MMU is assembled from the packed-array structures (``hw/fasttlb``,
+``hw/fastpwc``, ``hw/fastwalker``) and which adds :meth:`access_batch`:
+a single dispatch that retires a whole stream of independent accesses,
+keeping the per-op bookkeeping in local accumulators and touching the
+real counters only at batch boundaries, policy epochs, and fallbacks.
+
+The fast loop inlines exactly two cases — a clean L1 hit and a clean L2
+hit (with its L1 promotion) in the run's primary TLB hierarchy. Every
+other case (TLB miss, write upgrade, multi-granule configs, tracing
+enabled, non-data access kinds) falls back to the unmodified
+``System.access`` path, and the inline probe is side-effect free until
+the moment a clean hit is certain — so the observable machine state
+after any stream is bit-identical to the reference core's, which
+``tests/fastpath`` proves over the fuzz corpus and seeded campaigns.
+``NULL_TRACER`` stays the zero-cost observability path: the fast loop
+runs only when tracing is off, and pays nothing for it.
+"""
+
+from repro.common.addrspace import returns, takes
+from repro.common.errors import SimulationError
+from repro.common.params import level_shift
+from repro.core.machine import POLICY_EPOCH_OPS, System
+from repro.hw.fasttlb import KEY_ASID_BITS, VAL_FRAME_BITS
+from repro.mem.flatpt import FlatLeafMap, pack_meta
+
+# Snapshot keys pack the owning ASID above the 4 KB VPN.
+SNAPSHOT_ASID_BITS = 44
+# Sentinel frame for a guest leaf whose gfn the host has not backed yet.
+UNBACKED_FRAME = -1
+
+
+class FastSystem(System):
+    """A ``System`` running on the fastpath core."""
+
+    def access_batch(self, vas, is_write=False, kind="data", collect_frames=False):
+        """Retire every access in ``vas`` (all reads or all writes).
+
+        Equivalent to ``[self.access(va, is_write, kind) for va in vas]``
+        in every observable way — counters, stats, LRU orders, clock,
+        policy epochs, fault handling — but one call instead of many.
+        Returns the translated frames as a list when ``collect_frames``
+        is true, else None.
+        """
+        frames = [] if collect_frames else None
+        mmu = self.mmu
+        order = mmu.hierarchy._order
+        if kind != "data" or self.tracer.enabled or len(order) != 1:
+            # Streams the inline loop does not model: take the reference
+            # path per op (still faster than caller-side loops).
+            access = self.access
+            if frames is None:
+                for va in vas:
+                    access(va, is_write, kind)
+                return None
+            for va in vas:
+                frames.append(access(va, is_write, kind).frame)
+            return frames
+
+        proc = self.kernel.current
+        if proc is None:
+            raise SimulationError("no runnable process")
+        hierarchy = mmu.hierarchy.hierarchies[order[0]]
+        l1 = hierarchy.l1d
+        l2 = hierarchy.l2
+        page_shift = l1.page_shift
+        l1_keys = l1._keys
+        l1_vals = l1._vals
+        l1_nsets = l1.num_sets
+        l1_ways = l1.ways
+        l1_stats = l1.stats
+        l2_stats = l2.stats if l2 is not None else None
+        if l2 is not None:
+            l2_keys = l2._keys
+            l2_vals = l2._vals
+            l2_nsets = l2.num_sets
+        counters = mmu.counters
+        cost = self.cost
+        c_op = cost.cycles_per_op
+        c_l1 = cost.cycles_tlb_l1_hit
+        c_l2 = cost.cycles_tlb_l2_hit
+        clock = self.clock
+        access = self.access
+        ctx = self._ctx_for(proc)
+        asid = ctx.asid
+        # Local accumulators, flushed at epochs/fallbacks/return. Every
+        # inline op is a clean L1 or L2 hit, so ops = l1h + l2h.
+        a_l1h = 0  # clean L1 hits
+        a_l2h = 0  # clean L2 hits (each implies one L1 miss + promotion)
+        a_evict = 0  # L1 evictions caused by promotions
+        epoch_ops = self._epoch_ops
+
+        def _flush():
+            nonlocal a_l1h, a_l2h, a_evict
+            a_ops = a_l1h + a_l2h
+            if a_ops:
+                self.ops += a_ops
+                if is_write:
+                    self.writes += a_ops
+                else:
+                    self.reads += a_ops
+                self.ideal_cycles += a_ops * c_op
+                cycles = a_ops * c_op
+                if c_l1:
+                    cycles += a_l1h * c_l1
+                if a_l2h:
+                    l2_cycles = a_l2h * c_l2
+                    cycles += l2_cycles
+                    self.tlb_l2_cycles += l2_cycles
+                    l1_stats.misses += a_l2h
+                    l1_stats.fills += a_l2h
+                    l1_stats.evictions += a_evict
+                    l2_stats.hits += a_l2h
+                    counters.tlb_hits_l2 += a_l2h
+                clock.advance(cycles)
+                l1_stats.hits += a_l1h
+                counters.tlb_hits_l1 += a_l1h
+                a_l1h = a_l2h = a_evict = 0
+            self._epoch_ops = epoch_ops
+
+        def _resync():
+            nonlocal proc, ctx, asid, epoch_ops
+            proc = self.kernel.current
+            ctx = self._ctx_for(proc)
+            asid = ctx.asid
+            epoch_ops = self._epoch_ops
+
+        for va in vas:
+            vpn = va >> page_shift
+            key = (vpn << KEY_ASID_BITS) | asid
+            set_index = vpn % l1_nsets
+            keys = l1_keys[set_index]
+            if keys and keys[-1] == key:
+                # Already MRU: hit with no LRU work at all.
+                val = l1_vals[set_index][-1]
+                if is_write and val & 3 != 3:
+                    # Write upgrade: re-walk on the reference path. The
+                    # probe above left no trace, so access() redoes it
+                    # with reference-identical effects.
+                    _flush()
+                    outcome = access(va, is_write, kind)
+                    if frames is not None:
+                        frames.append(outcome.frame)
+                    _resync()
+                    continue
+                a_l1h += 1
+                epoch_ops += 1
+                if frames is not None:
+                    frames.append(val >> VAL_FRAME_BITS)
+                if epoch_ops >= POLICY_EPOCH_OPS:
+                    _flush()
+                    self._policy_epoch()
+                    _resync()
+                continue
+            if key in keys:
+                i = keys.index(key)
+                vals = l1_vals[set_index]
+                val = vals[i]
+                if is_write and val & 3 != 3:
+                    _flush()
+                    outcome = access(va, is_write, kind)
+                    if frames is not None:
+                        frames.append(outcome.frame)
+                    _resync()
+                    continue
+                # LRU -> MRU (the tail check above proves i isn't last).
+                del keys[i]
+                del vals[i]
+                keys.append(key)
+                vals.append(val)
+                a_l1h += 1
+                epoch_ops += 1
+                if frames is not None:
+                    frames.append(val >> VAL_FRAME_BITS)
+                if epoch_ops >= POLICY_EPOCH_OPS:
+                    _flush()
+                    self._policy_epoch()
+                    _resync()
+                continue
+            if l2 is not None:
+                set2 = vpn % l2_nsets
+                keys2 = l2_keys[set2]
+                if key in keys2:
+                    j = keys2.index(key)
+                    vals2 = l2_vals[set2]
+                    val = vals2[j]
+                    if not is_write or val & 3 == 3:
+                        # Clean L2 hit: refresh L2 LRU, promote into L1
+                        # (evicting its LRU victim if the set is full).
+                        if j != len(keys2) - 1:
+                            del keys2[j]
+                            del vals2[j]
+                            keys2.append(key)
+                            vals2.append(val)
+                        vals = l1_vals[set_index]
+                        if len(keys) >= l1_ways:
+                            del keys[0]
+                            del vals[0]
+                            a_evict += 1
+                        keys.append(key)
+                        vals.append(val)
+                        a_l2h += 1
+                        epoch_ops += 1
+                        if frames is not None:
+                            frames.append(val >> VAL_FRAME_BITS)
+                        if epoch_ops >= POLICY_EPOCH_OPS:
+                            _flush()
+                            self._policy_epoch()
+                            _resync()
+                        continue
+            # Full miss (or dirty L2 write upgrade): reference path.
+            _flush()
+            outcome = access(va, is_write, kind)
+            if frames is not None:
+                frames.append(outcome.frame)
+            _resync()
+        _flush()
+        return frames
+
+
+# -- final translation state (the equivalence suite's third witness) -------
+
+
+@takes(gfn="gfn")
+@returns("hfn")
+def _composed_host_frame(hostpt, gfn):
+    """The host frame backing ``gfn``, or UNBACKED_FRAME if none yet."""
+    hfn = hostpt.translate(gfn)
+    return UNBACKED_FRAME if hfn is None else hfn
+
+
+@takes(va="gva", gfn="gfn")
+def _record_page(state, hostpt, asid, va, gfn, meta):
+    """Record one 4 KB page's end-to-end translation into ``state``."""
+    key = (asid << SNAPSHOT_ASID_BITS) | (va >> 12)
+    if hostpt is None:
+        state.add(key, gfn, meta)
+    else:
+        state.add(key, _composed_host_frame(hostpt, gfn), meta)
+
+
+@takes(va="gva")
+def _record_leaf(state, hostpt, asid, va, pte, level):
+    """Break one guest leaf into 4 KB pages and record each one."""
+    span_frames = 1 << (level_shift(level) - 12)
+    meta = pack_meta(level_shift(level), pte.writable, pte.dirty)
+    for index in range(span_frames):
+        _record_page(state, hostpt, asid, va + (index << 12),
+                     pte.frame + index, meta)
+
+
+def final_translation_state(system):
+    """Every live process's composed translations as a FlatLeafMap.
+
+    For virtualized modes each present guest leaf is composed through
+    the VMM's host table (gVA -> gPA -> hPA); native records VA -> PA
+    directly. Two systems that executed the same stream must produce
+    equal maps — this is the "final translation state" leg of the
+    fastpath equivalence argument, alongside RunMetrics and trap counts.
+    """
+    hostpt = system.vmm.hostpt if system.vmm is not None else None
+    state = FlatLeafMap()
+    for pid in sorted(system.kernel.processes):
+        proc = system.kernel.processes[pid]
+        for va, pte, level in proc.page_table.iter_leaves():
+            if pte.present:
+                _record_leaf(state, hostpt, proc.asid, va, pte, level)
+    return state

@@ -79,8 +79,15 @@ def iter_cases(directory):
             yield path, load_case(path)
 
 
-def replay_case(case):
-    """Re-run one case through the oracle; returns the fresh Verdict."""
+def replay_case(case, **config_overrides):
+    """Re-run one case through the oracle; returns the fresh Verdict.
+
+    Keyword overrides are merged over the case's recorded oracle options
+    — e.g. ``core="fastpath"`` replays the whole corpus on the fastpath
+    simulation core (`repro fuzz replay --core fastpath`).
+    """
     scenario = Scenario.from_dict(case["scenario"])
-    oracle = DifferentialOracle.from_options(case.get("oracle") or {})
+    options = dict(case.get("oracle") or {})
+    options.update(config_overrides)
+    oracle = DifferentialOracle.from_options(options)
     return oracle.run(scenario)

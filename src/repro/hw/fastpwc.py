@@ -1,0 +1,96 @@
+"""Flat list-backed page-walk cache for the fastpath core.
+
+Same three skip tables as :class:`~repro.hw.pwc.PageWalkCache`, but each
+table is a pair of parallel lists (tags and ``(frame, mode)`` payloads)
+probed with ``list.index`` instead of an ``OrderedDict``. List order is
+LRU order — index 0 is the replacement victim, the tail is MRU — so
+every hit, fill, and eviction lands on the same entry as the reference,
+which the parity suite checks op-for-op.
+"""
+
+from repro.common.addrspace import takes
+from repro.hw.pwc import PageWalkCache
+
+
+class FastPageWalkCache(PageWalkCache):
+    """Packed-list reimplementation of the reference PWC."""
+
+    def __init__(self, entries_per_table=32, enabled=True):
+        super().__init__(entries_per_table, enabled)
+        # Replace the OrderedDict tables with parallel tag/payload lists,
+        # still indexed 1..MAX_SKIP by levels skipped.
+        self._tables = None
+        self._tags = {k: [] for k in range(1, self.MAX_SKIP + 1)}
+        self._payloads = {k: [] for k in range(1, self.MAX_SKIP + 1)}
+
+    @takes(va="addr")
+    def lookup(self, asid, va):
+        """Deepest available partial translation for ``va``."""
+        if not self.enabled:
+            return None
+        for depth in range(self.MAX_SKIP, 0, -1):
+            tags = self._tags[depth]
+            tag = self._tag(asid, va, depth)
+            try:
+                i = tags.index(tag)
+            except ValueError:
+                continue
+            payloads = self._payloads[depth]
+            payload = payloads[i]
+            if i != len(tags) - 1:  # move to MRU, as the dict did
+                del tags[i]
+                del payloads[i]
+                tags.append(tag)
+                payloads.append(payload)
+            self.stats.hits += 1
+            frame, mode = payload
+            return depth, frame, mode
+        self.stats.misses += 1
+        return None
+
+    @takes(va="addr", frame="frame")
+    def insert(self, asid, va, depth, frame, mode):
+        """Cache the node reached after walking ``depth`` levels of ``va``."""
+        if not self.enabled or not 1 <= depth <= self.MAX_SKIP:
+            return
+        tags = self._tags[depth]
+        payloads = self._payloads[depth]
+        tag = self._tag(asid, va, depth)
+        try:
+            i = tags.index(tag)
+        except ValueError:
+            if len(tags) >= self.entries_per_table:
+                del tags[0]
+                del payloads[0]
+        else:
+            del tags[i]
+            del payloads[i]
+        tags.append(tag)
+        payloads.append((frame, mode))
+        self.stats.fills += 1
+
+    def invalidate_asid(self, asid):
+        for depth in range(1, self.MAX_SKIP + 1):
+            tags = self._tags[depth]
+            keep = [i for i, tag in enumerate(tags) if tag[0] != asid]
+            if len(keep) != len(tags):
+                payloads = self._payloads[depth]
+                self._tags[depth] = [tags[i] for i in keep]
+                self._payloads[depth] = [payloads[i] for i in keep]
+
+    @takes(va="addr")
+    def invalidate_prefix(self, asid, va):
+        """Drop entries covering ``va`` (called when PT structure changes)."""
+        for depth in range(1, self.MAX_SKIP + 1):
+            tags = self._tags[depth]
+            try:
+                i = tags.index(self._tag(asid, va, depth))
+            except ValueError:
+                continue
+            del tags[i]
+            del self._payloads[depth][i]
+
+    def flush(self):
+        for depth in range(1, self.MAX_SKIP + 1):
+            del self._tags[depth][:]
+            del self._payloads[depth][:]

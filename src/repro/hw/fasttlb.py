@@ -1,0 +1,177 @@
+"""Flat array-backed TLB structures: the fastpath core's hot stores.
+
+Each :class:`FastTLB` set is a pair of parallel Python lists holding
+packed integer keys and values instead of an ``OrderedDict`` of
+:class:`~repro.hw.tlb.TLBEntry` objects. ``list.index`` runs the
+associative probe in C, LRU order is list order (index 0 is the LRU
+victim, the tail is MRU), and a hit never allocates on the batch path —
+the packed value *is* the translation.
+
+The packing is deliberately boring so the equivalence suite can reason
+about it: a key is ``(vpn << 16) | asid``; a value is
+``(frame << 8) | (page_shift << 2) | (writable << 1) | dirty``. Every
+operation reproduces the reference :class:`~repro.hw.tlb.TLB` exactly —
+same stats arithmetic, same eviction victim, same LRU updates — which
+``tests/fastpath/test_tlb_parity.py`` proves op-for-op.
+"""
+
+from repro.common.addrspace import takes
+from repro.hw.tlb import TLB, TLBEntry
+from repro.hw.tlbhierarchy import MultiSizeTLB, TLBHierarchy
+
+# Key layout: the ASID occupies the low 16 bits, the VPN the rest.
+KEY_ASID_BITS = 16
+KEY_ASID_MASK = (1 << KEY_ASID_BITS) - 1
+# Value layout: frame above bit 8; page_shift in bits 2..7; then the
+# writable and dirty permission bits the write-upgrade check reads.
+VAL_FRAME_BITS = 8
+VAL_WD_MASK = 0b11
+
+
+@takes(frame="hfn")
+def pack_value(frame, page_shift, writable, dirty):
+    """Pack one translation into a FastTLB value word."""
+    return ((frame << VAL_FRAME_BITS) | (page_shift << 2)
+            | (bool(writable) << 1) | bool(dirty))
+
+
+def unpack_entry(asid, vpn, value):
+    """Materialize a reference-compatible :class:`TLBEntry` from a value."""
+    return TLBEntry(
+        asid=asid,
+        vpn=vpn,
+        frame=value >> VAL_FRAME_BITS,
+        page_shift=(value >> 2) & 0x3F,
+        writable=bool(value & 2),
+        dirty=bool(value & 1),
+    )
+
+
+class FastTLB(TLB):
+    """Packed-list reimplementation of the reference set-associative TLB."""
+
+    def __init__(self, entries, ways, page_shift, name="TLB"):
+        super().__init__(entries, ways, page_shift, name)
+        # Replace the OrderedDict sets with parallel key/value lists.
+        del self._sets
+        self._keys = [[] for _ in range(self.num_sets)]
+        self._vals = [[] for _ in range(self.num_sets)]
+
+    @takes(va="gva")
+    def lookup(self, asid, va, update_stats=True):
+        """The entry translating ``va`` for ``asid``, or None on a miss."""
+        vpn = va >> self.page_shift
+        set_index = vpn % self.num_sets
+        keys = self._keys[set_index]
+        key = (vpn << KEY_ASID_BITS) | asid
+        try:
+            i = keys.index(key)
+        except ValueError:
+            if update_stats:
+                self.stats.misses += 1
+            return None
+        vals = self._vals[set_index]
+        value = vals[i]
+        if i != len(keys) - 1:  # move to MRU (tail), as the dict did
+            del keys[i]
+            del vals[i]
+            keys.append(key)
+            vals.append(value)
+        if update_stats:
+            self.stats.hits += 1
+        return unpack_entry(asid, vpn, value)
+
+    def insert(self, entry):
+        """Install ``entry``, evicting the set's LRU victim if full."""
+        vpn = entry.vpn
+        set_index = vpn % self.num_sets
+        keys = self._keys[set_index]
+        vals = self._vals[set_index]
+        key = (vpn << KEY_ASID_BITS) | entry.asid
+        try:
+            i = keys.index(key)
+        except ValueError:
+            if len(keys) >= self.ways:
+                del keys[0]
+                del vals[0]
+                self.stats.evictions += 1
+        else:
+            del keys[i]
+            del vals[i]
+        keys.append(key)
+        vals.append(pack_value(entry.frame, entry.page_shift,
+                               entry.writable, entry.dirty))
+        self.stats.fills += 1
+        return entry
+
+    @takes(va="gva")
+    def invalidate_page(self, asid, va):
+        """Drop the entry for one page (the INVLPG analogue)."""
+        vpn = va >> self.page_shift
+        set_index = vpn % self.num_sets
+        keys = self._keys[set_index]
+        try:
+            i = keys.index((vpn << KEY_ASID_BITS) | asid)
+        except ValueError:
+            return
+        del keys[i]
+        del self._vals[set_index][i]
+        self.stats.invalidations += 1
+
+    def invalidate_asid(self, asid):
+        """Drop every entry belonging to ``asid``."""
+        for set_index in range(self.num_sets):
+            keys = self._keys[set_index]
+            keep = [i for i, key in enumerate(keys)
+                    if key & KEY_ASID_MASK != asid]
+            removed = len(keys) - len(keep)
+            if removed:
+                vals = self._vals[set_index]
+                self._keys[set_index] = [keys[i] for i in keep]
+                self._vals[set_index] = [vals[i] for i in keep]
+                self.stats.invalidations += removed
+
+    def flush(self):
+        """Drop everything (a full TLB flush)."""
+        for set_index in range(self.num_sets):
+            keys = self._keys[set_index]
+            self.stats.invalidations += len(keys)
+            del keys[:]
+            del self._vals[set_index][:]
+
+    def occupancy(self):
+        """Number of valid entries currently cached."""
+        return sum(len(keys) for keys in self._keys)
+
+    # -- non-perturbing introspection (paranoid-mode invariant checks) ------
+
+    @takes(va="gva")
+    def peek(self, asid, va):
+        """Like :meth:`lookup`, but touches neither stats nor LRU order."""
+        vpn = va >> self.page_shift
+        set_index = vpn % self.num_sets
+        try:
+            i = self._keys[set_index].index((vpn << KEY_ASID_BITS) | asid)
+        except ValueError:
+            return None
+        return unpack_entry(asid, vpn, self._vals[set_index][i])
+
+    def iter_entries(self):
+        """Iterate every valid entry (no stats/LRU side effects)."""
+        for set_index in range(self.num_sets):
+            vals = self._vals[set_index]
+            for i, key in enumerate(self._keys[set_index]):
+                yield unpack_entry(key & KEY_ASID_MASK,
+                                   key >> KEY_ASID_BITS, vals[i])
+
+
+class FastTLBHierarchy(TLBHierarchy):
+    """Reference hierarchy logic over packed-list TLB arrays."""
+
+    TLB_CLS = FastTLB
+
+
+class FastMultiSizeTLB(MultiSizeTLB):
+    """Reference multi-granule front end over packed-list hierarchies."""
+
+    HIERARCHY_CLS = FastTLBHierarchy

@@ -544,7 +544,11 @@ class ConfigKeysRule(ProjectRule):
     somewhere — an unread knob silently prices nothing; (b) every
     dotted string key whose head is a dataclass-typed ``MachineConfig``
     field (the ``CellSpec`` override namespace, e.g. ``"pwc.enabled"``)
-    must resolve to a declared field path.
+    must resolve to a declared field path; (c) every member of a
+    ``VALID_*`` enum tuple (the value set of a string-typed config key,
+    e.g. ``VALID_CORES``) must be referenced outside config.py — by its
+    constant name or its literal value — or the declared value is dead:
+    accepted by validation but handled by nothing.
     """
 
     rule_id = "REPRO502"
@@ -591,16 +595,60 @@ class ConfigKeysRule(ProjectRule):
             dataclasses[node.name] = fields
         if not dataclasses:
             return
+        # Module-level string constants and VALID_* enum tuples in the
+        # config module, for the dead-enum-member check (c).
+        string_consts = {}
+        enum_tuples = []
+        for node in config_file.tree.body:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            target = node.targets[0].id
+            if (isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)):
+                string_consts[target] = node.value.value
+            elif target.startswith("VALID_") and isinstance(node.value, ast.Tuple):
+                enum_tuples.append((target, node.value))
         attr_reads = set()
         key_literals = []
+        outside_names = set()
+        outside_strings = set()
         for source_file in source_files:
+            outside = source_file is not config_file
             for node in ast.walk(source_file.tree):
                 if isinstance(node, ast.Attribute):
                     attr_reads.add(node.attr)
+                    if outside:
+                        outside_names.add(node.attr)
                 elif (isinstance(node, ast.Constant)
-                      and isinstance(node.value, str)
-                      and self.DOTTED_KEY_RE.match(node.value)):
-                    key_literals.append((source_file, node))
+                      and isinstance(node.value, str)):
+                    if self.DOTTED_KEY_RE.match(node.value):
+                        key_literals.append((source_file, node))
+                    if outside:
+                        outside_strings.add(node.value)
+                elif outside and isinstance(node, ast.Name):
+                    outside_names.add(node.id)
+        for enum_name, tuple_node in enum_tuples:
+            for element in tuple_node.elts:
+                if isinstance(element, ast.Name):
+                    member_name = element.id
+                    member_value = string_consts.get(member_name)
+                elif (isinstance(element, ast.Constant)
+                      and isinstance(element.value, str)):
+                    member_name = None
+                    member_value = element.value
+                else:
+                    continue
+                if member_name in outside_names or member_value in outside_strings:
+                    continue
+                yield Finding(
+                    self.rule_id, self.name, config_file.path,
+                    element.lineno, element.col_offset,
+                    "config enum `%s` declares %r but nothing outside "
+                    "config.py references it; a declared-but-unhandled "
+                    "value is a dead key"
+                    % (enum_name, member_value
+                       if member_value is not None else member_name))
         for class_name, field, lineno in field_sites:
             if field not in attr_reads:
                 yield Finding(

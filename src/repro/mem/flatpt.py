@@ -1,0 +1,94 @@
+"""Flat array-backed leaf map: page-table state as parallel arrays.
+
+The reference :class:`~repro.mem.pagetable.PageTable` is a radix tree of
+per-node dicts — ideal for modelling walks, slow to snapshot or compare.
+:class:`FlatLeafMap` stores one leaf translation per slot in three
+parallel ``array('q')`` columns (packed key, frame, packed metadata),
+sorted by key with bisect lookups. The equivalence suite uses it as the
+canonical "final translation state" representation: build one map per
+core, then ``==`` or :meth:`diff` them.
+
+Keys are opaque 63-bit integers chosen by the caller (the fastpath core
+packs ``(asid, vpn)``); metadata packs ``(page_shift << 2) |
+(writable << 1) | dirty``.
+"""
+
+from array import array
+from bisect import bisect_left
+
+from repro.common.addrspace import takes
+
+META_WRITABLE_BIT = 2
+META_DIRTY_BIT = 1
+
+
+def pack_meta(page_shift, writable, dirty):
+    """Pack one leaf's flag word (the frame rides in its own column)."""
+    return (page_shift << 2) | (bool(writable) << 1) | bool(dirty)
+
+
+class FlatLeafMap:
+    """Sorted parallel-array map: packed key -> (frame, meta)."""
+
+    def __init__(self):
+        self._keys = array("q")
+        self._frames = array("q")
+        self._meta = array("q")
+        self._dirty_order = False
+
+    def __len__(self):
+        return len(self._keys)
+
+    @takes(frame="frame")
+    def add(self, key, frame, meta):
+        """Append one leaf; keys may arrive unsorted."""
+        keys = self._keys
+        if keys and key <= keys[-1]:
+            self._dirty_order = True
+        keys.append(key)
+        self._frames.append(frame)
+        self._meta.append(meta)
+
+    def _ensure_sorted(self):
+        if not self._dirty_order:
+            return
+        order = sorted(range(len(self._keys)), key=self._keys.__getitem__)
+        self._keys = array("q", (self._keys[i] for i in order))
+        self._frames = array("q", (self._frames[i] for i in order))
+        self._meta = array("q", (self._meta[i] for i in order))
+        self._dirty_order = False
+
+    def get(self, key):
+        """``(frame, meta)`` for ``key``, or None."""
+        self._ensure_sorted()
+        keys = self._keys
+        i = bisect_left(keys, key)
+        if i < len(keys) and keys[i] == key:
+            return self._frames[i], self._meta[i]
+        return None
+
+    def entries(self):
+        """All ``(key, frame, meta)`` rows in key order."""
+        self._ensure_sorted()
+        return list(zip(self._keys, self._frames, self._meta))
+
+    def __eq__(self, other):
+        if not isinstance(other, FlatLeafMap):
+            return NotImplemented
+        return self.entries() == other.entries()
+
+    def __ne__(self, other):
+        equal = self.__eq__(other)
+        return equal if equal is NotImplemented else not equal
+
+    __hash__ = None
+
+    def diff(self, other):
+        """Rows that differ: ``(key, mine, theirs)`` with None for absent."""
+        mine = {key: (frame, meta) for key, frame, meta in self.entries()}
+        theirs = {key: (frame, meta) for key, frame, meta in other.entries()}
+        out = []
+        for key in sorted(mine.keys() | theirs.keys()):
+            if mine.get(key) != theirs.get(key):
+                out.append((key, mine.get(key), theirs.get(key)))
+        return out

@@ -1,0 +1,69 @@
+"""Shared builders for the fastpath differential equivalence suite."""
+
+import random
+
+from repro.common.config import sandy_bridge_config
+from repro.core.fastpath import FastSystem, final_translation_state
+from repro.core.machine import System
+
+
+def build_pair(mode, page_size="4K", **overrides):
+    """A (reference, fastpath) System pair in identical configurations."""
+    from repro.common.params import PAGE_SIZES
+
+    size = PAGE_SIZES[page_size] if isinstance(page_size, str) else page_size
+    ref = System(sandy_bridge_config(mode, size, **overrides))
+    fast = System(sandy_bridge_config(mode, size, core="fastpath", **overrides))
+    assert type(fast) is FastSystem
+    return ref, fast
+
+
+def provision(system, pages):
+    """One process with a ``pages``-page anonymous mapping; returns base."""
+    proc = system.kernel.create_process()
+    return system.kernel.mmap(proc, size=pages * 4096)
+
+
+def seeded_stream(seed, base, pages, ops, write_fraction=0.3, page_shift=12):
+    """A deterministic (va, is_write) stream with mixed locality."""
+    rng = random.Random(seed)
+    hot = max(4, pages // 8)
+    stream = []
+    for _ in range(ops):
+        page = rng.randrange(hot) if rng.random() < 0.7 else rng.randrange(pages)
+        va = base + (page << page_shift) + rng.randrange(1 << page_shift)
+        stream.append((va, rng.random() < write_fraction))
+    return stream
+
+
+def run_reference(system, stream):
+    for va, is_write in stream:
+        system.access(va, is_write)
+
+
+def run_batched(system, stream):
+    """Drive the stream through access_batch in write-homogeneous runs."""
+    i = 0
+    n = len(stream)
+    while i < n:
+        j = i
+        is_write = stream[i][1]
+        while j < n and stream[j][1] == is_write:
+            j += 1
+        system.access_batch([va for va, _ in stream[i:j]], is_write=is_write)
+        i = j
+
+
+def assert_equivalent(ref, fast, label=""):
+    """The three equivalence legs: RunMetrics, traps, final state."""
+    ref_metrics = ref.collect_metrics().to_dict()
+    fast_metrics = fast.collect_metrics().to_dict()
+    diverged = {key: (ref_metrics[key], fast_metrics[key])
+                for key in ref_metrics if ref_metrics[key] != fast_metrics[key]}
+    assert not diverged, "%s RunMetrics diverged: %s" % (label, diverged)
+    ref_state = final_translation_state(ref)
+    fast_state = final_translation_state(fast)
+    assert len(ref_state) > 0
+    assert ref_state == fast_state, (
+        "%s final translation state diverged: %s"
+        % (label, ref_state.diff(fast_state)[:5]))

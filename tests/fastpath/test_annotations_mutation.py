@@ -1,0 +1,61 @@
+"""Mutation acceptance: the domain analysis is live on the fastpath code.
+
+Same idiom as ``tests/lint/domains/test_mutations.py`` — copy the
+installed package, plant one realistic address-space bug in the new
+fastpath modules, and prove ``repro check`` (the deep rule set) catches
+it. The clean-tree gate (``tests/lint/test_clean_tree.py``) already
+proves the unmutated fastpath modules lint clean; these tests prove
+that cleanliness is *earned*, not just the analysis looking away.
+"""
+
+import os
+import shutil
+
+import repro
+from repro.lint import DEEP_RULES
+from repro.lint.engine import LintEngine
+
+
+def _package_dir():
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _mutate(tmp_path, relpath, needle, replacement):
+    mutant = tmp_path / "repro"
+    shutil.copytree(_package_dir(), mutant,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    target = mutant.joinpath(*relpath.split("/"))
+    source = target.read_text()
+    assert needle in source  # the code this mutation depends on
+    target.write_text(source.replace(needle, replacement))
+    findings, _checked = LintEngine(DEEP_RULES).run([str(mutant)])
+    return findings
+
+
+def test_swapping_gfn_for_vpn_in_snapshot_fails_check(tmp_path):
+    """The acceptance mutation from the issue: index the final-state
+    snapshot by the guest-*virtual* page number where the guest-frame
+    number belongs, and the wrong-domain-argument rule must fire."""
+    findings = _mutate(
+        tmp_path, "core/fastpath.py",
+        "state.add(key, _composed_host_frame(hostpt, gfn), meta)",
+        "state.add(key, _composed_host_frame(hostpt, va >> 12), meta)")
+    assert findings, "vpn passed as gfn went undetected"
+    rule_ids = {f.rule_id for f in findings}
+    assert "REPRO602" in rule_ids, "\n".join(f.format() for f in findings)
+    swapped = [f for f in findings if f.rule_id == "REPRO602"]
+    assert any("_composed_host_frame" in f.message for f in swapped)
+    assert any("gfn" in f.message and "vpn" in f.message for f in swapped)
+
+
+def test_valid_cores_dead_member_fails_check(tmp_path):
+    """Declaring a core name nothing handles must trip REPRO502."""
+    findings = _mutate(
+        tmp_path, "common/config.py",
+        "VALID_CORES = (CORE_REFERENCE, CORE_FASTPATH)",
+        "VALID_CORES = (CORE_REFERENCE, CORE_FASTPATH, \"turbo\")")
+    assert findings, "dead VALID_CORES member went undetected"
+    assert {f.rule_id for f in findings} == {"REPRO502"}, \
+        "\n".join(f.format() for f in findings)
+    assert "VALID_CORES" in findings[0].message
+    assert "'turbo'" in findings[0].message

@@ -1,0 +1,131 @@
+"""The ``core`` config key: validation, dispatch, and its REPRO502 leg.
+
+The core selector is config like any other — it must be rejected early
+with a clear message when bogus, it must actually change which system
+class is built, and its ``VALID_CORES`` value set is guarded by the
+extended REPRO502 dead-key check: a core name that validation accepts
+but nothing outside config.py handles is a lie waiting for a user.
+"""
+
+import pytest
+
+from repro.common.config import (
+    CORE_FASTPATH,
+    CORE_REFERENCE,
+    VALID_CORES,
+    sandy_bridge_config,
+)
+from repro.common.errors import SimulationError
+from repro.core.fastpath import FastSystem
+from repro.core.machine import System
+from repro.core.simulator import run_workload
+from repro.lint.engine import LintEngine
+from repro.lint.flow.rules import ConfigKeysRule
+from repro.workloads.suite import McfLike
+
+
+def test_config_rejects_unknown_core():
+    with pytest.raises(ValueError) as excinfo:
+        sandy_bridge_config(core="bogus")
+    message = str(excinfo.value)
+    assert "unknown simulation core" in message
+    assert "'bogus'" in message
+    for core in VALID_CORES:
+        assert core in message  # the error teaches the valid choices
+
+
+def test_config_accepts_every_valid_core():
+    for core in VALID_CORES:
+        assert sandy_bridge_config(core=core).core == core
+
+
+def test_system_rejects_core_that_dodged_config_validation():
+    """Belt and braces: a config whose ``core`` was spoofed past
+    ``__post_init__`` still cannot build a machine."""
+    config = sandy_bridge_config()
+    object.__setattr__(config, "core", "turbo")  # frozen-dataclass bypass
+    with pytest.raises(SimulationError) as excinfo:
+        System(config)
+    assert "unknown simulation core" in str(excinfo.value)
+
+
+def test_system_constructor_dispatches_on_core():
+    assert type(System(sandy_bridge_config())) is System
+    assert type(System(sandy_bridge_config(core=CORE_REFERENCE))) is System
+    fast = System(sandy_bridge_config(core=CORE_FASTPATH))
+    assert type(fast) is FastSystem
+    assert isinstance(fast, System)
+    # Asking for FastSystem directly also works and stays FastSystem.
+    assert type(FastSystem(sandy_bridge_config(core=CORE_FASTPATH))) \
+        is FastSystem
+
+
+def test_run_workload_core_override_matches_reference():
+    """The public one-call entry point accepts ``core=`` and the two
+    cores produce the identical RunMetrics for a real suite workload."""
+    ref = run_workload(McfLike, seed=7, ops=2000, mode="agile")
+    fast = run_workload(McfLike, seed=7, ops=2000, mode="agile",
+                        core=CORE_FASTPATH)
+    assert ref.to_dict() == fast.to_dict()
+
+
+# -- the REPRO502 enum-member leg, on a synthetic tree ----------------------
+
+
+def _lint_fake_repro(tmp_path, sources):
+    for relpath, source in sources.items():
+        path = tmp_path / "repro" / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        parent = path.parent
+        while parent != tmp_path:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+    findings, _checked = LintEngine([ConfigKeysRule()]).run(
+        [str(tmp_path / "repro")])
+    return findings
+
+
+_CONFIG_WITH_ENUM = (
+    "from dataclasses import dataclass\n"
+    "CORE_ALPHA = \"alpha\"\n"
+    "CORE_BETA = \"beta\"\n"
+    "VALID_CORES = (CORE_ALPHA, CORE_BETA)\n"
+    "@dataclass\n"
+    "class MachineConfig:\n"
+    "    core: str = CORE_ALPHA\n"
+)
+
+
+def test_repro502_flags_unhandled_enum_member(tmp_path):
+    """A ``VALID_*`` member nothing outside config.py handles is dead."""
+    findings = _lint_fake_repro(tmp_path, {
+        "common/config.py": _CONFIG_WITH_ENUM,
+        "core/machine.py": (
+            "from repro.common.config import CORE_ALPHA\n"
+            "def build(cfg):\n"
+            "    return (cfg.core, CORE_ALPHA)\n"
+        ),
+    })
+    assert len(findings) == 1
+    assert findings[0].rule_id == "REPRO502"
+    assert "VALID_CORES" in findings[0].message
+    assert "'beta'" in findings[0].message
+    assert "dead key" in findings[0].message
+
+
+def test_repro502_enum_clean_when_every_member_handled(tmp_path):
+    """Handling by constant name or by string literal both count."""
+    findings = _lint_fake_repro(tmp_path, {
+        "common/config.py": _CONFIG_WITH_ENUM,
+        "core/machine.py": (
+            "from repro.common.config import CORE_ALPHA\n"
+            "def build(cfg):\n"
+            "    if cfg.core == \"beta\":\n"
+            "        return \"fast\"\n"
+            "    return (cfg.core, CORE_ALPHA)\n"
+        ),
+    })
+    assert findings == []

@@ -1,0 +1,79 @@
+"""Corpus replay on the fastpath core — the CI divergence tripwire.
+
+Every committed reproducer case replays through the differential oracle
+twice: once as recorded (reference core) and once with ``core="fastpath"``
+merged over its oracle options (the ``repro fuzz --corpus ... --core
+fastpath`` path). Fresh seeded campaigns then run reference and fastpath
+machines in lockstep per mode, demanding equal fault counters, guest
+leaf snapshots, trap counts, and ``RunMetrics``. A behavioural
+divergence between the cores fails tier-1 here.
+"""
+
+import os
+
+import pytest
+
+from repro.common.config import CORE_FASTPATH
+from repro.fuzz import ScenarioGenerator, ScenarioRunner, build_system
+from repro.fuzz.corpus import iter_cases, replay_case
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..",
+    "corpus", "regression")
+
+CASES = sorted(name for name in os.listdir(CORPUS_DIR)
+               if name.endswith(".json"))
+
+
+def _case(name):
+    for path, case in iter_cases(CORPUS_DIR):
+        if os.path.basename(path) == name:
+            return case
+    raise AssertionError("case %s vanished" % name)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_corpus_case_passes_on_fastpath_core(name):
+    """The whole committed corpus, replayed on the fastpath core."""
+    case = _case(name)
+    verdict = replay_case(case, core=CORE_FASTPATH)
+    assert verdict.ok, "%s diverged on fastpath core: %r" % (name, verdict)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_corpus_case_still_passes_on_reference_core(name):
+    """Control leg: the recorded (reference-core) replay stays green, so
+    a fastpath failure above can only mean a core divergence."""
+    case = _case(name)
+    verdict = replay_case(case)
+    assert verdict.ok, "%s regressed on reference core: %r" % (name, verdict)
+
+
+@pytest.mark.parametrize("seed,profile", [
+    (11, "churn"),
+    (12, "bimodal"),
+    (13, "fork_cow"),
+    (14, "ctx"),
+    (15, "reclaim"),
+])
+def test_fresh_campaign_lockstep_equivalence(seed, profile):
+    """Fresh seeded scenarios, reference vs fastpath in lockstep: the
+    full oracle-visible state must agree after every scenario, per mode."""
+    scenario = ScenarioGenerator(profile).generate(seed, 120)
+    for mode in ("native", "nested", "shadow", "agile"):
+        ref = ScenarioRunner(build_system(mode))
+        fast = ScenarioRunner(build_system(mode, core=CORE_FASTPATH))
+        ref.run(scenario)
+        fast.run(scenario)
+        label = "%s/%s/seed=%d" % (mode, profile, seed)
+        assert ref.fault_counters() == fast.fault_counters(), label
+        assert ref.leaf_snapshot() == fast.leaf_snapshot(), label
+        assert ref.trap_counts() == fast.trap_counts(), label
+        ref_metrics = ref.system.collect_metrics().to_dict()
+        fast_metrics = fast.system.collect_metrics().to_dict()
+        diverged = {key: (ref_metrics[key], fast_metrics[key])
+                    for key in ref_metrics
+                    if ref_metrics[key] != fast_metrics[key]}
+        assert not diverged, "%s RunMetrics diverged: %s" % (label, diverged)
+        ref.check_all()
+        fast.check_all()

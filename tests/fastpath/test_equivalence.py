@@ -1,0 +1,185 @@
+"""System-level differential equivalence: fastpath vs reference core.
+
+Every test runs the identical access stream through a reference
+``System`` and a fastpath ``FastSystem`` and demands bit-identical
+observable state: the full ``RunMetrics`` dict (ops, cycles, TLB/walk
+counters, trap counts — everything), and the composed final translation
+state of every live process (gVA -> hPA through the host table). The
+streams mix reads, writes (dirty upgrades), policy epochs, TLB misses,
+and L2 promotions, so every branch of the inline fast loop and every
+fallback is crossed.
+"""
+
+import pytest
+
+from repro.common.config import ALL_MODES
+from repro.hw.fastwalker import WALK_FAULTS, BatchWalker
+from repro.hw.walker import PageWalker
+
+from .helpers import (
+    assert_equivalent,
+    build_pair,
+    provision,
+    run_batched,
+    run_reference,
+    seeded_stream,
+)
+
+PAGES = 96  # larger than L1 reach (64 entries), smaller than L2's
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_batch_matches_reference_per_op(mode):
+    ref, fast = build_pair(mode)
+    base = provision(ref, PAGES)
+    assert provision(fast, PAGES) == base
+    stream = seeded_stream(101, base, PAGES, 6000)
+    run_reference(ref, stream)
+    run_batched(fast, stream)
+    assert_equivalent(ref, fast, mode)
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_per_op_access_on_fastpath_matches(mode):
+    """The fastpath structures behind the plain ``access`` path (no
+    batching at all) are already bit-identical to the reference."""
+    ref, fast = build_pair(mode)
+    base = provision(ref, PAGES)
+    assert provision(fast, PAGES) == base
+    stream = seeded_stream(202, base, PAGES, 3000)
+    run_reference(ref, stream)
+    run_reference(fast, stream)
+    assert_equivalent(ref, fast, mode)
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_batch_equals_per_op_on_same_core(mode):
+    """access_batch is observably the per-op loop: two fastpath systems,
+    one batched and one looped, finish in identical states."""
+    looped, batched = build_pair(mode)
+    looped_fast = type(batched)(batched.config)  # a second fastpath system
+    base = provision(looped_fast, PAGES)
+    assert provision(batched, PAGES) == base
+    stream = seeded_stream(303, base, PAGES, 4000)
+    run_reference(looped_fast, stream)
+    run_batched(batched, stream)
+    assert_equivalent(looped_fast, batched, mode)
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_collect_frames_matches_reference_outcomes(mode):
+    ref, fast = build_pair(mode)
+    base = provision(ref, PAGES)
+    assert provision(fast, PAGES) == base
+    vas = [va for va, _ in seeded_stream(404, base, PAGES, 2500)]
+    want = [ref.access(va).frame for va in vas]
+    got = fast.access_batch(vas, collect_frames=True)
+    assert want == got
+    assert_equivalent(ref, fast, mode)
+
+
+@pytest.mark.parametrize("mode", ("native", "agile"))
+def test_inst_kind_falls_back_identically(mode):
+    """Non-data access kinds take the reference path — and still match."""
+    ref, fast = build_pair(mode)
+    base = provision(ref, PAGES)
+    assert provision(fast, PAGES) == base
+    vas = [va for va, _ in seeded_stream(505, base, PAGES, 1200)]
+    for va in vas:
+        ref.access(va, kind="inst")
+    fast.access_batch(vas, kind="inst")
+    assert_equivalent(ref, fast, mode)
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_write_only_stream_matches(mode):
+    """All-write streams exercise every dirty-upgrade fallback."""
+    ref, fast = build_pair(mode)
+    base = provision(ref, PAGES)
+    assert provision(fast, PAGES) == base
+    stream = [(va, True) for va, _ in seeded_stream(606, base, PAGES, 3000)]
+    run_reference(ref, stream)
+    run_batched(fast, stream)
+    assert_equivalent(ref, fast, mode)
+
+
+def _result_tuple(result):
+    if isinstance(result, WALK_FAULTS):
+        return ("fault", type(result).__name__)
+    return (result.frame, result.page_shift, result.writable, result.dirty,
+            result.refs, result.nested_levels, result.mode)
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_batch_walker_retirement_order(mode):
+    """walk_many retires in submission order with the same per-walk
+    results and PWC state evolution as a caller-side walk loop."""
+    _ref, many = build_pair(mode)
+    loop = type(many)(many.config)
+    base = provision(loop, 16)
+    assert provision(many, 16) == base
+    # Populate both guests identically so walks find live leaves.
+    vas = [base + 4096 * page for page in range(16)]
+    loop.access_batch(vas)
+    many.access_batch(vas)
+    assert isinstance(many.mmu.walker, BatchWalker)
+
+    requests = [vas[(7 * i) % 16] for i in range(64)]
+    ctx_loop = loop._ctx_for(loop.kernel.current)
+    ctx_many = many._ctx_for(many.kernel.current)
+    got_loop = []
+    for va in requests:
+        try:
+            got_loop.append(loop.mmu.walker.walk(va, ctx_loop))
+        except WALK_FAULTS as fault:  # pragma: no cover - defensive
+            got_loop.append(fault)
+    got_many = many.mmu.walker.walk_many(
+        (va, ctx_many, False) for va in requests)
+    assert len(got_many) == len(requests)
+    assert list(map(_result_tuple, got_loop)) \
+        == list(map(_result_tuple, got_many))
+    if loop.mmu.pwc is not None:
+        assert (loop.mmu.pwc.stats.hits, loop.mmu.pwc.stats.fills) \
+            == (many.mmu.pwc.stats.hits, many.mmu.pwc.stats.fills)
+
+
+def test_batch_walker_captures_faults_per_slot():
+    """A faulting walk becomes a result slot, not a batch abort."""
+    _ref, fast = build_pair("native")
+    base = provision(fast, 4)
+    vas = [base + 4096 * page for page in range(4)]
+    fast.access_batch(vas)
+    ctx = fast._ctx_for(fast.kernel.current)
+    unmapped = base + 4096 * 4096  # far outside the mapping
+    results = fast.mmu.walker.walk_many(
+        [(vas[0], ctx, False), (unmapped, ctx, False), (vas[1], ctx, False)])
+    assert len(results) == 3
+    assert not isinstance(results[0], WALK_FAULTS)
+    assert isinstance(results[1], WALK_FAULTS)
+    assert not isinstance(results[2], WALK_FAULTS)
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_tlb_contents_and_order_after_stream(mode):
+    """Beyond the metrics: the TLB arrays themselves finish with the
+    same entries in the same LRU order on both cores."""
+    ref, fast = build_pair(mode)
+    base = provision(ref, PAGES)
+    assert provision(fast, PAGES) == base
+    stream = seeded_stream(707, base, PAGES, 4000)
+    run_reference(ref, stream)
+    run_batched(fast, stream)
+
+    def _contents(system):
+        return [(e.asid, e.vpn, e.frame, e.page_shift, e.writable, e.dirty)
+                for e in system.mmu.hierarchy.iter_entries()]
+
+    assert _contents(ref) == _contents(fast)
+
+
+def test_walk_dispatch_table_covers_reference_modes():
+    """The dispatch table and the reference if-chain name the same
+    handlers, so a new mode cannot silently fall through."""
+    assert set(BatchWalker.DISPATCH) == {"native", "nested", "shadow", "agile"}
+    for mode, handler in BatchWalker.DISPATCH.items():
+        assert handler is getattr(PageWalker, "%s_walk" % mode)

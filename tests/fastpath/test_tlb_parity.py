@@ -1,0 +1,188 @@
+"""Structure-level parity: packed-array stores vs reference, op-for-op.
+
+Each test drives the reference structure and its fastpath counterpart
+with the identical seeded op stream and checks *after every op* that
+returned entries, stats counters, and full LRU-ordered contents agree.
+This is the strongest form of the equivalence claim: not just the same
+hits, but the same eviction victim and the same replacement order at
+every step.
+"""
+
+import random
+
+import pytest
+
+from repro.hw.fastpwc import FastPageWalkCache
+from repro.hw.fasttlb import FastTLB, FastTLBHierarchy
+from repro.hw.pwc import PWC_GUEST, PWC_NATIVE, PWC_SHADOW, PageWalkCache
+from repro.hw.tlb import TLB, TLBEntry
+from repro.hw.tlbhierarchy import TLBHierarchy
+
+SEEDS = (0, 1, 7, 23)
+
+PAGE_SHIFT = 12
+ASIDS = (1, 2, 3)
+VPNS = 40  # small VPN space: plenty of set conflicts and evictions
+
+
+def _entry_tuple(entry):
+    if entry is None:
+        return None
+    return (entry.asid, entry.vpn, entry.frame, entry.page_shift,
+            entry.writable, entry.dirty)
+
+
+def _stats_tuple(stats):
+    return (stats.hits, stats.misses, stats.fills, stats.evictions,
+            stats.invalidations)
+
+
+def _tlb_state(tlb):
+    """Full contents in iteration (= set, then LRU) order."""
+    return [_entry_tuple(e) for e in tlb.iter_entries()]
+
+
+def _random_entry(rng):
+    return TLBEntry(asid=rng.choice(ASIDS), vpn=rng.randrange(VPNS),
+                    frame=rng.randrange(1 << 20),
+                    page_shift=PAGE_SHIFT, writable=rng.random() < 0.5,
+                    dirty=rng.random() < 0.5)
+
+
+def _step_tlb(rng, ref, fast):
+    """One random op against both TLBs; asserts matching results."""
+    roll = rng.random()
+    asid = rng.choice(ASIDS)
+    va = rng.randrange(VPNS) << PAGE_SHIFT
+    if roll < 0.45:
+        got_ref = ref.lookup(asid, va)
+        got_fast = fast.lookup(asid, va)
+        assert _entry_tuple(got_ref) == _entry_tuple(got_fast)
+    elif roll < 0.80:
+        entry = _random_entry(rng)
+        ref.insert(TLBEntry(entry.asid, entry.vpn, entry.frame,
+                            entry.page_shift, entry.writable, entry.dirty))
+        fast.insert(entry)
+    elif roll < 0.88:
+        assert _entry_tuple(ref.peek(asid, va)) \
+            == _entry_tuple(fast.peek(asid, va))
+    elif roll < 0.94:
+        ref.invalidate_page(asid, va)
+        fast.invalidate_page(asid, va)
+    elif roll < 0.98:
+        ref.invalidate_asid(asid)
+        fast.invalidate_asid(asid)
+    else:
+        ref.flush()
+        fast.flush()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fasttlb_matches_reference_op_for_op(seed):
+    """Same stats, same contents, same LRU order after every single op —
+    which pins eviction victims and replacement decisions exactly."""
+    rng = random.Random(seed)
+    ref = TLB(entries=64, ways=4, page_shift=PAGE_SHIFT)
+    fast = FastTLB(entries=64, ways=4, page_shift=PAGE_SHIFT)
+    for _ in range(3000):
+        _step_tlb(rng, ref, fast)
+        assert _stats_tuple(ref.stats) == _stats_tuple(fast.stats)
+        assert _tlb_state(ref) == _tlb_state(fast)
+    assert ref.occupancy() == fast.occupancy()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fasttlb_eviction_order_matches(seed):
+    """Pure insert streams into one set: the eviction *victim* (index 0
+    / OrderedDict head) must coincide at every fill."""
+    rng = random.Random(seed)
+    ref = TLB(entries=8, ways=8, page_shift=PAGE_SHIFT)  # one set
+    fast = FastTLB(entries=8, ways=8, page_shift=PAGE_SHIFT)
+    for _ in range(500):
+        entry = _random_entry(rng)
+        ref.insert(TLBEntry(entry.asid, entry.vpn, entry.frame,
+                            entry.page_shift, entry.writable, entry.dirty))
+        fast.insert(entry)
+        assert ref.stats.evictions == fast.stats.evictions
+        assert _tlb_state(ref) == _tlb_state(fast)
+
+
+def _pwc_state(pwc):
+    """Full contents per skip depth, in LRU order."""
+    if isinstance(pwc, FastPageWalkCache):
+        return {depth: list(zip(pwc._tags[depth], pwc._payloads[depth]))
+                for depth in range(1, pwc.MAX_SKIP + 1)}
+    return {depth: list(pwc._tables[depth].items())
+            for depth in range(1, pwc.MAX_SKIP + 1)}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fastpwc_matches_reference_op_for_op(seed):
+    """Fill/invalidate/lookup parity for the page-walk caches, including
+    the fill-then-invalidate interleavings the walker produces."""
+    rng = random.Random(seed)
+    ref = PageWalkCache(entries_per_table=8)
+    fast = FastPageWalkCache(entries_per_table=8)
+    modes = (PWC_NATIVE, PWC_SHADOW, PWC_GUEST)
+    for _ in range(3000):
+        roll = rng.random()
+        asid = rng.choice(ASIDS)
+        va = rng.randrange(1 << 20) << 21  # spread across radix indices
+        if roll < 0.40:
+            assert ref.lookup(asid, va) == fast.lookup(asid, va)
+        elif roll < 0.80:
+            depth = rng.randrange(1, 4)
+            frame = rng.randrange(1 << 20)
+            mode = rng.choice(modes)
+            ref.insert(asid, va, depth, frame, mode)
+            fast.insert(asid, va, depth, frame, mode)
+        elif roll < 0.90:
+            ref.invalidate_prefix(asid, va)
+            fast.invalidate_prefix(asid, va)
+        elif roll < 0.97:
+            ref.invalidate_asid(asid)
+            fast.invalidate_asid(asid)
+        else:
+            ref.flush()
+            fast.flush()
+        assert (ref.stats.hits, ref.stats.misses, ref.stats.fills) \
+            == (fast.stats.hits, fast.stats.misses, fast.stats.fills)
+        assert _pwc_state(ref) == _pwc_state(fast)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hierarchy_parity_including_l2_promotion(seed):
+    """The L1+L2 hierarchy: L2-hit promotion into L1 must evict the same
+    victim and leave the same orders in both structures."""
+    from repro.common.config import sandy_bridge_config
+    from repro.common.params import FOUR_KB
+
+    config = sandy_bridge_config().tlbs
+    rng = random.Random(seed)
+    ref = TLBHierarchy(config, FOUR_KB)
+    fast = FastTLBHierarchy(config, FOUR_KB)
+    vpns = 600  # exceeds L2 capacity (512): real L2 evictions too
+    for _ in range(4000):
+        roll = rng.random()
+        asid = rng.choice(ASIDS)
+        va = rng.randrange(vpns) << PAGE_SHIFT
+        if roll < 0.55:
+            ref_entry, ref_level = ref.lookup(asid, va)
+            fast_entry, fast_level = fast.lookup(asid, va)
+            assert ref_level == fast_level
+            assert _entry_tuple(ref_entry) == _entry_tuple(fast_entry)
+        elif roll < 0.90:
+            frame = rng.randrange(1 << 20)
+            writable = rng.random() < 0.5
+            dirty = writable and rng.random() < 0.5
+            ref.fill(asid, va, frame, writable, dirty)
+            fast.fill(asid, va, frame, writable, dirty)
+        elif roll < 0.96:
+            ref.invalidate_page(asid, va)
+            fast.invalidate_page(asid, va)
+        else:
+            ref.invalidate_asid(asid)
+            fast.invalidate_asid(asid)
+        for ref_tlb, fast_tlb in ((ref.l1d, fast.l1d), (ref.l2, fast.l2)):
+            assert _stats_tuple(ref_tlb.stats) == _stats_tuple(fast_tlb.stats)
+            assert _tlb_state(ref_tlb) == _tlb_state(fast_tlb)
