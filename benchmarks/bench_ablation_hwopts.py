@@ -9,6 +9,7 @@ context switches).
 from repro.analysis.experiments import run_one
 from repro.analysis.tables import format_table
 from repro.workloads.suite import DedupLike, GccLike
+from repro.bench import bench_target
 
 from _util import DEFAULT_OPS, emit, pct, run_once
 
@@ -55,3 +56,23 @@ def test_hardware_optimization_ablation(benchmark):
     # (its pipeline switches constantly).
     assert (results[("dedup", "no CR3 cache")].trap_counts.get("context_switch", 0)
             > results[("dedup", "both opts")].trap_counts.get("context_switch", 0))
+
+@bench_target("ablation_hwopts", output="BENCH_ablation_hwopts.json")
+def bench(ctx):
+    """VMtrap cost of dropping the Section IV hardware optimizations."""
+    ops = ctx.ops(DEFAULT_OPS)
+    workloads = {}
+    for cls in (DedupLike, GccLike):
+        per_variant = {}
+        for label, overrides in VARIANTS:
+            metrics = run_one(cls(ops=ops), "agile", **overrides)
+            key = label.replace(" ", "_").replace("/", "")
+            per_variant[key] = {
+                "vmm_overhead": metrics.vmm_overhead,
+                "vmtraps": metrics.vmtraps,
+                "dirty_sync": metrics.trap_counts.get("dirty_sync", 0),
+                "context_switch": metrics.trap_counts.get(
+                    "context_switch", 0),
+            }
+        workloads[cls.name] = per_variant
+    return {"ops": ops, "workloads": workloads}

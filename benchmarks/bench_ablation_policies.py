@@ -12,15 +12,16 @@ from repro.core.machine import System
 from repro.core.simulator import Simulator
 from repro.workloads.suite import MemcachedLike
 from repro.analysis.tables import format_table
+from repro.bench import bench_target
 
 from _util import DEFAULT_OPS, emit, pct, run_once
 
 
-def run_with_policy(**policy_overrides):
+def run_with_policy(ops=DEFAULT_OPS, **policy_overrides):
     config = sandy_bridge_config(mode="agile")
     config = replace(config, policy=replace(config.policy, **policy_overrides))
     system = System(config)
-    return Simulator(system).run(MemcachedLike(ops=DEFAULT_OPS))
+    return Simulator(system).run(MemcachedLike(ops=ops))
 
 
 def test_policy_ablation(benchmark):
@@ -60,3 +61,24 @@ def test_policy_ablation(benchmark):
     # Without reversion, fewer misses are served in full shadow mode.
     assert (results["no reversion"].mode_mix().get("Shadow", 0.0)
             <= results["dirty-bit reversion"].mode_mix().get("Shadow", 0.0) + 1e-9)
+
+@bench_target("ablation_policies", output="BENCH_ablation_policies.json")
+def bench(ctx):
+    """Switching-policy design space on memcached (Section III-C)."""
+    ops = ctx.ops(DEFAULT_OPS)
+    policies = {}
+    for label, overrides in (
+        ("dirty_reversion", dict(revert_policy="dirty")),
+        ("simple_reversion", dict(revert_policy="simple")),
+        ("no_reversion", dict(revert_policy="none")),
+        ("threshold_1", dict(write_threshold=1)),
+        ("threshold_8", dict(write_threshold=8)),
+    ):
+        metrics = run_with_policy(ops=ops, **overrides)
+        policies[label] = {
+            "shadow_fraction": metrics.mode_mix().get("Shadow", 0.0),
+            "avg_refs_per_miss": metrics.avg_refs_per_miss,
+            "vmtraps": metrics.vmtraps,
+            "vmm_overhead": metrics.vmm_overhead,
+        }
+    return {"ops": ops, "policies": policies}

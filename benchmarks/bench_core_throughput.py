@@ -5,20 +5,23 @@ reference per-op ``System.access`` loop and the fastpath
 ``FastSystem.access_batch`` dispatch — across all four paging modes and
 several stream shapes, asserting bit-identical ``RunMetrics`` along the
 way (a benchmark that drifts from the reference would be measuring a
-different machine). Writes ``BENCH_core_throughput.json`` at the repo
-root so every later PR shows its speed delta.
+different machine). A ``repro.obs.metrics`` registry rides on the timed
+fastpath system, so every cell reports *why* it fell out of the inline
+loop: per-reason fallback counts (``fastpath.fallback.miss`` vs
+``write_upgrade`` vs ...) explain, e.g., the ``mixed`` scenario's lower
+speedup directly in the BENCH JSON.
 
-Run directly::
+Registered with the ``repro.bench`` harness; regenerate the repo-root
+report with::
 
-    PYTHONPATH=src python benchmarks/bench_core_throughput.py [--ops N]
+    PYTHONPATH=src python -m repro bench core_throughput
 
+(running this file directly still works and delegates to the harness).
 The tier-1 smoke gate lives in ``tests/fastpath/test_bench_smoke.py``:
 it runs :func:`run_core_throughput` in smoke mode and fails if any
 mode's best speedup drops below ``SPEEDUP_GATE``.
 """
 
-import argparse
-import json
 import math
 import os
 import random
@@ -28,10 +31,11 @@ import time
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
+from repro.bench import BenchContext, Gate, bench_target  # noqa: E402
 from repro.common.config import ALL_MODES, sandy_bridge_config  # noqa: E402
 from repro.core.machine import System  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
 
-SCHEMA = 1
 # The tier-1 gate (enforced in CI smoke mode) and the ROADMAP goal
 # (reported in the JSON, not gated: interpreter speed varies by host).
 SPEEDUP_GATE = 3.0
@@ -68,14 +72,25 @@ def _stream(base, pages, hot, hot_fraction, ops, seed):
     return vas
 
 
-def _time_pair(mode, scenario, ops, repeat, seed):
-    """Best-of-``repeat`` timings for one (mode, scenario) cell."""
+def _time_pair(mode, scenario, ops, repeat, seed, registry=None):
+    """Best-of-``repeat`` timings for one (mode, scenario) cell.
+
+    When ``registry`` is given, the *last* attempt's fastpath run carries
+    a fresh metrics registry whose fallback counters land in the cell
+    (``fallbacks``) and merge into ``registry`` — one attempt's worth,
+    so counts stay proportional to ``ops``, not ``ops * repeat``.
+    """
     name, pages, hot, hot_fraction = scenario
     best_ref = best_fast = math.inf
+    fallbacks = None
     for attempt in range(repeat):
         ref, base = _build(mode, "reference", pages)
         fast, fast_base = _build(mode, "fastpath", pages)
         assert base == fast_base
+        cell_registry = None
+        if registry is not None and attempt == repeat - 1:
+            cell_registry = MetricsRegistry()
+            fast.attach_observability(metrics=cell_registry)
         vas = _stream(base, pages, hot, hot_fraction, ops, seed + attempt)
         warm = vas[: max(1000, ops // 20)]
         for va in warm:
@@ -96,25 +111,36 @@ def _time_pair(mode, scenario, ops, repeat, seed):
                               if ref_metrics[k] != fast_metrics[k])
             raise AssertionError(
                 "cores diverged on %s/%s: %s" % (mode, name, diverged))
+        if cell_registry is not None:
+            snap = cell_registry.snapshot()
+            fallbacks = {key.split(".")[-1]: value
+                         for key, value in sorted(snap.counters.items())
+                         if key.startswith("fastpath.fallback.")}
+            fallbacks["inline"] = snap.counters.get("fastpath.inline_ops", 0)
+            registry.merge_snapshot(snap)
         best_ref = min(best_ref, ref_elapsed)
         best_fast = min(best_fast, fast_elapsed)
-    return {
+    cell = {
         "scenario": name,
         "ops": ops,
         "reference_ops_per_sec": round(ops / best_ref),
         "fastpath_ops_per_sec": round(ops / best_fast),
         "speedup": round(best_ref / best_fast, 2),
     }
+    if fallbacks is not None:
+        cell["fallbacks"] = fallbacks
+    return cell
 
 
 def run_core_throughput(ops=200_000, repeat=2, seed=11, modes=ALL_MODES,
-                        scenarios=None):
-    """Run the full grid; returns the JSON-ready report dict."""
+                        scenarios=None, registry=None):
+    """Run the full grid; returns the JSON-ready result dict."""
     wanted = scenarios
     grid = [s for s in SCENARIOS if wanted is None or s[0] in wanted]
     results = {}
     for mode in modes:
-        cells = [_time_pair(mode, scenario, ops, repeat, seed)
+        cells = [_time_pair(mode, scenario, ops, repeat, seed,
+                            registry=registry)
                  for scenario in grid]
         best = max(cell["speedup"] for cell in cells)
         results[mode] = {"scenarios": cells, "best_speedup": best}
@@ -122,8 +148,6 @@ def run_core_throughput(ops=200_000, repeat=2, seed=11, modes=ALL_MODES,
                 for mode in results for cell in results[mode]["scenarios"]]
     geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
     return {
-        "schema": SCHEMA,
-        "benchmark": "core_throughput",
         "ops_per_cell": ops,
         "repeat": repeat,
         "gate_speedup": SPEEDUP_GATE,
@@ -138,38 +162,44 @@ def run_core_throughput(ops=200_000, repeat=2, seed=11, modes=ALL_MODES,
     }
 
 
+@bench_target("core_throughput", output="BENCH_core_throughput.json",
+              gates=(Gate("summary.geomean_speedup", "higher", 0.2),
+                     Gate("summary.min_best_speedup", "higher", 0.2)))
+def bench(ctx):
+    """Harness entry point: full grid, or hot+l1 smoke grid in --quick."""
+    ops = ctx.ops(200_000, quick=30_000)
+    repeat = ctx.repeat if ctx.repeat is not None else 2
+    return run_core_throughput(
+        ops=ops, repeat=repeat,
+        scenarios=SMOKE_SCENARIOS if ctx.quick else None,
+        registry=ctx.metrics)
+
+
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--ops", type=int, default=200_000,
-                        help="accesses timed per cell")
-    parser.add_argument("--repeat", type=int, default=2,
-                        help="attempts per cell (best-of)")
-    parser.add_argument("--smoke", action="store_true",
-                        help="small grid, no file written")
-    parser.add_argument("--out", default=None, metavar="PATH",
-                        help="output path (default: repo-root "
-                             "BENCH_core_throughput.json)")
-    args = parser.parse_args(argv)
-    report = run_core_throughput(
-        ops=args.ops, repeat=args.repeat,
-        scenarios=SMOKE_SCENARIOS if args.smoke else None)
-    for mode, data in report["modes"].items():
+    from repro.bench import run_target
+
+    ctx = BenchContext(quick="--smoke" in (argv or sys.argv[1:]))
+    target = bench.__bench_target__
+    if ctx.quick:
+        # Smoke runs must not clobber the committed full report.
+        import tempfile
+
+        out_dir = tempfile.mkdtemp(prefix="bench-smoke-")
+    else:
+        out_dir = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..")
+    report, path = run_target(target, ctx, out_dir=out_dir)
+    result = report["result"]
+    for mode, data in result["modes"].items():
         for cell in data["scenarios"]:
             print("%-7s %-6s ref %8d ops/s   fast %8d ops/s   %5.2fx"
                   % (mode, cell["scenario"], cell["reference_ops_per_sec"],
                      cell["fastpath_ops_per_sec"], cell["speedup"]))
     print("geomean %.2fx, best %.2fx (gate %.1fx, goal %.1fx)"
-          % (report["summary"]["geomean_speedup"],
-             report["summary"]["max_speedup"],
+          % (result["summary"]["geomean_speedup"],
+             result["summary"]["max_speedup"],
              SPEEDUP_GATE, SPEEDUP_GOAL))
-    if not args.smoke:
-        out = args.out or os.path.join(
-            os.path.dirname(os.path.abspath(__file__)), "..",
-            "BENCH_core_throughput.json")
-        with open(out, "w", encoding="utf-8") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print("report written to %s" % os.path.normpath(out))
+    print("report written to %s" % os.path.normpath(path))
     return 0
 
 

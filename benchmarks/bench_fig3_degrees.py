@@ -7,6 +7,7 @@ bit flips the walk to nested mode.
 
 from repro.analysis.experiments import figure3_journals
 from repro.analysis.tables import format_table
+from repro.bench import bench_target
 
 from _util import emit, run_once
 
@@ -41,3 +42,13 @@ def test_figure3_access_orders(benchmark):
     # Shadow prefix then a guest-PT read, as drawn in Figure 3(b).
     assert [s for s, _l in journals["switch@4th"][:3]] == ["sPT"] * 3
     assert journals["switch@4th"][3][0] == "gPT"
+
+@bench_target("fig3_degrees", output="BENCH_fig3_degrees.json")
+def bench(ctx):
+    """Journal lengths per degree of nesting (paper Figure 3)."""
+    journals = figure3_journals()
+    return {
+        "lengths": {label: len(journal)
+                    for label, journal in journals.items()},
+        "paper_lengths": dict(PAPER_LENGTHS),
+    }

@@ -13,6 +13,7 @@ shadow matches native walks but pays VMtraps on update-heavy loads
 from repro.analysis.experiments import figure5, headline_claims
 from repro.analysis.plots import render_figure5
 from repro.analysis.tables import figure5_rows, format_table
+from repro.bench import Gate, bench_target
 
 from _util import DEFAULT_OPS, default_runner, emit, run_once
 
@@ -42,3 +43,18 @@ def test_figure5_overheads(benchmark):
         # 2M large pages reduce agile walk overheads (Section VII point 5).
         assert (configs[("2M", "agile")].page_walk_overhead
                 <= configs[("4K", "agile")].page_walk_overhead + 0.01), name
+
+@bench_target("fig5_overheads", output="BENCH_fig5_overheads.json",
+              gates=(Gate("summary.geomean_speedup_vs_best", "higher", 0.1),))
+def bench(ctx):
+    """Whole-suite total overheads plus the headline summary (Figure 5)."""
+    ops = ctx.ops(DEFAULT_OPS)
+    results = figure5(ops=ops, runner=default_runner())
+    _rows, summary = headline_claims(results)
+    totals = {}
+    for name, configs in results.items():
+        totals[name] = {
+            "%s_%s" % (size, mode): (configs[(size, mode)].page_walk_overhead
+                                     + configs[(size, mode)].vmm_overhead)
+            for size, mode in configs}
+    return {"ops": ops, "totals": totals, "summary": dict(summary)}

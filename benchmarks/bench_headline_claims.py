@@ -10,6 +10,7 @@ constant factor of native.
 from repro.analysis.experiments import figure5, headline_claims
 from repro.analysis.tables import format_table
 from repro.common.params import FOUR_KB
+from repro.bench import Gate, bench_target
 
 from _util import DEFAULT_OPS, emit, run_once
 
@@ -50,3 +51,17 @@ def test_headline_claims(benchmark):
     emit("headline", rendered)
     assert summary["geomean_speedup_vs_best"] > 1.0
     assert summary["geomean_slowdown_vs_native"] < 1.35
+
+@bench_target("headline_claims", output="BENCH_headline_claims.json",
+              gates=(Gate("summary.geomean_speedup_vs_best", "higher", 0.1),
+                     Gate("summary.geomean_slowdown_vs_native", "lower", 0.1)))
+def bench(ctx):
+    """The Section VII-A headline numbers at 4K pages."""
+    ops = ctx.ops(DEFAULT_OPS)
+    results = figure5(ops=ops, page_sizes=(FOUR_KB,))
+    rows, summary = headline_claims(results)
+    return {"ops": ops, "summary": dict(summary), "workloads": {
+        row["workload"]: {
+            "agile_speedup_vs_best": row["agile_speedup_vs_best"],
+            "agile_slowdown_vs_native": row["agile_slowdown_vs_native"],
+        } for row in rows}}

@@ -11,6 +11,7 @@ from repro.common.params import TWO_MB
 from repro.core.machine import System
 from repro.core.simulator import MachineAPI
 from repro.analysis.tables import format_table
+from repro.bench import bench_target
 
 from _util import emit, pct, run_once
 
@@ -91,3 +92,21 @@ def test_paging_features(benchmark):
             < results[("mem-pressure", "shadow")].vmtraps)
     # 2M pages translate correctly under agile.
     assert results[("2M-pages", "agile")].ops > 0
+
+@bench_target("paging_features", output="BENCH_paging_features.json")
+def bench(ctx):
+    """Feature micro-workloads (COW, reclaim, 2M pages), shadow vs agile."""
+    features = {}
+    for feature, runner in (("cow_sharing", _sharing_run),
+                            ("mem_pressure", _pressure_run),
+                            ("large_pages", _large_page_run)):
+        per_mode = {}
+        for mode in ("shadow", "agile"):
+            metrics, _extra = runner(mode)
+            per_mode[mode] = {
+                "vmtraps": metrics.vmtraps,
+                "vmm_overhead": metrics.vmm_overhead,
+                "avg_refs_per_miss": metrics.avg_refs_per_miss,
+            }
+        features[feature] = per_mode
+    return {"features": features}

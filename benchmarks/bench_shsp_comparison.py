@@ -10,6 +10,7 @@ from repro.analysis.experiments import run_one
 from repro.analysis.tables import format_table
 from repro.vmm import traps as T
 from repro.workloads.suite import CannealLike, DedupLike, McfLike
+from repro.bench import bench_target
 
 from _util import DEFAULT_OPS, emit, pct, run_once
 
@@ -53,3 +54,20 @@ def test_shsp_vs_agile(benchmark):
         # ...while agile meets-or-beats the best (and hence SHSP).
         assert total(name, "agile") <= best * 1.05, name
         assert total(name, "agile") <= total(name, "shsp") * 1.05, name
+
+@bench_target("shsp_comparison", output="BENCH_shsp_comparison.json")
+def bench(ctx):
+    """Agile vs the SHSP whole-process-switching baseline (VII-C)."""
+    ops = ctx.ops(DEFAULT_OPS)
+    workloads = {}
+    for cls in (McfLike, CannealLike, DedupLike):
+        per_mode = {}
+        for mode in ("nested", "shadow", "shsp", "agile"):
+            metrics = run_one(cls(ops=ops), mode)
+            per_mode[mode] = {
+                "total_overhead": (metrics.page_walk_overhead
+                                   + metrics.vmm_overhead),
+                "shsp_rebuilds": metrics.trap_counts.get(T.SHSP_REBUILD, 0),
+            }
+        workloads[cls.name] = per_mode
+    return {"ops": ops, "workloads": workloads}

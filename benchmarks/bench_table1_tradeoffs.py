@@ -7,6 +7,7 @@ except shadow paging (mediated by the VMM).
 
 from repro.analysis.experiments import table1_measurements
 from repro.analysis.tables import format_table, table1_rows
+from repro.bench import bench_target
 
 from _util import emit, run_once
 
@@ -26,3 +27,12 @@ def test_table1_tradeoffs(benchmark):
     assert measurements["shadow"]["max_refs"] == 4
     assert measurements["shadow"]["pt_update_traps"] >= 1
     assert measurements["agile"]["pt_update_traps"] == 0
+
+@bench_target("table1_tradeoffs", output="BENCH_table1_tradeoffs.json")
+def bench(ctx):
+    """Measured worst-case walk refs and PT-update traps (paper Table I)."""
+    measurements = table1_measurements()
+    return {"techniques": {
+        name: {"max_refs": data["max_refs"],
+               "pt_update_traps": data["pt_update_traps"]}
+        for name, data in measurements.items()}}

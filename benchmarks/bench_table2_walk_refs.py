@@ -6,6 +6,7 @@ levels), 24 (full nested) — measured, not asserted by construction.
 
 from repro.analysis.experiments import table2_measurements
 from repro.analysis.tables import format_table, table2_rows
+from repro.bench import bench_target
 
 from _util import emit, run_once
 
@@ -27,3 +28,10 @@ def test_table2_walk_references(benchmark):
     )
     emit("table2", text + "\n\n" + measured)
     assert totals == PAPER_TOTALS
+
+@bench_target("table2_walk_refs", output="BENCH_table2_walk_refs.json")
+def bench(ctx):
+    """Measured walk references per degree of nesting (paper Table II)."""
+    totals = table2_measurements()
+    return {"totals": {str(key): value for key, value in totals.items()},
+            "paper": {str(key): value for key, value in PAPER_TOTALS.items()}}

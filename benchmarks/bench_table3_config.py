@@ -9,6 +9,7 @@ from repro.common.config import sandy_bridge_config, sandy_bridge_tlbs
 from repro.common.params import FOUR_KB
 from repro.hw.tlbhierarchy import TLBHierarchy
 from repro.analysis.tables import format_table
+from repro.bench import Gate, bench_target
 
 from _util import emit
 
@@ -46,3 +47,23 @@ def test_table3_geometry_and_lookup_throughput(benchmark):
     config = sandy_bridge_config()
     assert config.tlbs.l1d["4K"].entries == 64
     assert config.tlbs.l2["4K"].entries == 512
+
+@bench_target("table3_config", output="BENCH_table3_config.json",
+              gates=(Gate("lookups_per_sec", "higher", 0.5),))
+def bench(ctx):
+    """TLB geometry sanity plus raw lookup throughput (paper Table III)."""
+    tlbs = sandy_bridge_tlbs()
+    hierarchy = TLBHierarchy(tlbs, FOUR_KB)
+    for vpn in range(512):
+        hierarchy.fill(1, vpn << 12, frame=vpn, writable=True, dirty=True)
+
+    def probe():
+        for vpn in range(512):
+            hierarchy.lookup(1, vpn << 12)
+
+    best = ctx.best_of(probe, repeat=5, min_time=0.05, warmup=1)
+    return {
+        "geometry": {"l1d_4k_entries": tlbs.l1d["4K"].entries,
+                     "l2_4k_entries": tlbs.l2["4K"].entries},
+        "lookups_per_sec": round(512 / best),
+    }

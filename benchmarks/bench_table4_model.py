@@ -12,6 +12,7 @@ from repro.core import costmodel
 from repro.core.simulator import run_workload
 from repro.workloads.suite import McfLike
 from repro.analysis.tables import format_table
+from repro.bench import bench_target
 
 from _util import DEFAULT_OPS, emit, pct, run_once
 
@@ -53,3 +54,22 @@ def test_table4_model_consistency(benchmark):
     assert model_pw * e_ideal == pytest.approx(
         direct_pw * runs["native"].ideal_cycles, rel=0.01
     )
+
+@bench_target("table4_model", output="BENCH_table4_model.json")
+def bench(ctx):
+    """Linear-model overheads on measured runs (paper Table IV)."""
+    ops = ctx.ops(DEFAULT_OPS)
+    runs = {mode: run_workload(McfLike(ops=ops),
+                               sandy_bridge_config(mode=mode))
+            for mode in ("native", "nested", "shadow")}
+    native = costmodel.measured_run_from_metrics(runs["native"])
+    e_ideal = costmodel.ideal_cycles(native)
+    modes = {}
+    for mode, metrics in runs.items():
+        run = costmodel.measured_run_from_metrics(metrics)
+        modes[mode] = {
+            "page_walk_overhead": costmodel.page_walk_overhead(run, e_ideal),
+            "vmm_overhead": costmodel.vmm_overhead(run, e_ideal),
+            "cycles_per_miss": run.avg_cycles_per_miss,
+        }
+    return {"ops": ops, "modes": modes}

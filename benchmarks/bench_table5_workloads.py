@@ -9,6 +9,7 @@ parallelize and cache the suite like any other sweep.
 from repro.analysis.experiments import table5
 from repro.workloads.suite import PAPER_FOOTPRINTS, SUITE
 from repro.analysis.tables import format_table
+from repro.bench import bench_target
 
 from _util import DEFAULT_OPS, default_runner, emit, run_once
 
@@ -40,3 +41,13 @@ def test_table5_workload_suite(benchmark):
     )
     emit("table5", text)
     assert len(rows) == 8
+
+@bench_target("table5_workloads", output="BENCH_table5_workloads.json")
+def bench(ctx):
+    """Workload-suite character: miss rates and shadow PT-write traps."""
+    ops = min(ctx.ops(DEFAULT_OPS), 30_000)
+    results = table5(ops=ops, runner=default_runner())
+    return {"ops": ops, "workloads": {
+        name: {"miss_rate_per_kop": metrics.miss_rate_per_kop,
+               "pt_write_traps": metrics.trap_counts.get("pt_write", 0)}
+        for name, metrics in results.items()}}

@@ -7,6 +7,7 @@ miss (down from nested paging's 24).
 
 from repro.analysis.experiments import table6
 from repro.analysis.tables import format_table, table6_rows
+from repro.bench import Gate, bench_target
 
 from _util import DEFAULT_OPS, default_runner, emit, run_once
 
@@ -29,3 +30,20 @@ def test_table6_mode_mix(benchmark):
     # Paper: "more than 80% of TLB misses are covered under complete
     # shadow mode" — check the suite average.
     assert sum(shadow_fracs) / len(shadow_fracs) > 0.8
+
+@bench_target("table6_mode_mix", output="BENCH_table6_mode_mix.json",
+              gates=(Gate("summary.mean_shadow_fraction", "higher", 0.1),))
+def bench(ctx):
+    """Where agile mode serves TLB misses (paper Table VI)."""
+    ops = ctx.ops(DEFAULT_OPS)
+    results = table6(ops=ops, runner=default_runner())
+    workloads = {}
+    for name, metrics in results.items():
+        mix = metrics.mode_mix()
+        workloads[name] = {
+            "shadow_fraction": mix.get("Shadow", 0.0),
+            "avg_refs_per_miss": metrics.avg_refs_per_miss,
+        }
+    fracs = [cell["shadow_fraction"] for cell in workloads.values()]
+    return {"ops": ops, "workloads": workloads,
+            "summary": {"mean_shadow_fraction": sum(fracs) / len(fracs)}}

@@ -12,6 +12,7 @@ from repro.common.config import sandy_bridge_config
 from repro.core.simulator import run_workload
 from repro.workloads.suite import DedupLike, GccLike, McfLike
 from repro.analysis.tables import format_table
+from repro.bench import bench_target
 
 from _util import DEFAULT_OPS, emit, pct, run_once
 
@@ -49,3 +50,18 @@ def test_twostep_projection_vs_direct(benchmark):
         # constituent — the paper's central claim, twice derived.
         assert projected <= best + 0.02, name
         assert measured <= best + 0.02, name
+
+@bench_target("twostep_model", output="BENCH_twostep_model.json")
+def bench(ctx):
+    """Two-step projection vs direct simulation, three workloads."""
+    ops = ctx.ops(DEFAULT_OPS)
+    workloads = {}
+    for cls in (McfLike, GccLike, DedupLike):
+        factory = lambda c=cls: c(ops=ops)
+        projection = two_step_projection(factory)
+        direct = run_workload(factory(), sandy_bridge_config(mode="agile"))
+        comparison = compare_projection_to_direct(projection, direct)
+        projected, measured = comparison["total_overhead"]
+        workloads[cls.name] = {"projected_overhead": projected,
+                               "direct_overhead": measured}
+    return {"ops": ops, "workloads": workloads}

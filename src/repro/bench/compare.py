@@ -1,0 +1,119 @@
+"""Baseline comparison: per-metric deltas and regression gating.
+
+``compare_reports(baseline, fresh)`` evaluates the fresh report's
+declared gates against the baseline's numbers and computes informational
+deltas over every metric the two reports share. A gate regresses when
+the fresh value crosses the baseline by more than the gate's tolerance
+in the bad direction::
+
+    direction="higher": fresh < baseline * (1 - tolerance)   # dropped
+    direction="lower":  fresh > baseline * (1 + tolerance)   # rose
+
+Gates come from the *fresh* report (the code under test declares its own
+contract); the baseline only supplies reference values. A gated metric
+missing from either side is itself a failure — silently ungated
+regressions are the failure mode this module exists to prevent.
+"""
+
+from repro.bench.registry import Gate
+
+
+class CompareError(ValueError):
+    """A comparison that cannot be evaluated (wrong file, wrong schema)."""
+
+
+def _delta(base, fresh):
+    """Fractional change from base to fresh (None when base is 0)."""
+    if base == 0:
+        return None
+    return (fresh - base) / abs(base)
+
+
+def compare_reports(baseline, fresh):
+    """Evaluate ``fresh`` against ``baseline``; returns a comparison dict.
+
+    Both are loaded schema-2 report dicts. Raises :class:`CompareError`
+    when they describe different benchmarks. The returned dict::
+
+        {"benchmark": ..., "ok": bool,
+         "gates": [{"metric", "direction", "tolerance", "baseline",
+                    "fresh", "delta", "ok", "reason"}, ...],
+         "deltas": {metric: {"baseline", "fresh", "delta"}, ...}}
+    """
+    base_name = baseline.get("benchmark")
+    fresh_name = fresh.get("benchmark")
+    if base_name != fresh_name:
+        raise CompareError(
+            "baseline is for benchmark %r but the fresh run is %r — "
+            "compare against the matching BENCH file" % (base_name,
+                                                         fresh_name))
+    base_metrics = baseline.get("metrics", {})
+    fresh_metrics = fresh.get("metrics", {})
+
+    gate_rows = []
+    ok = True
+    for gate_data in fresh.get("gates", []):
+        gate = Gate.from_dict(gate_data)
+        row = dict(gate_data)
+        base_value = base_metrics.get(gate.metric)
+        fresh_value = fresh_metrics.get(gate.metric)
+        row["baseline"] = base_value
+        row["fresh"] = fresh_value
+        if base_value is None or fresh_value is None:
+            row["delta"] = None
+            row["ok"] = False
+            row["reason"] = ("gated metric %r missing from the %s report"
+                             % (gate.metric,
+                                "baseline" if base_value is None
+                                else "fresh"))
+        else:
+            delta = _delta(base_value, fresh_value)
+            row["delta"] = delta
+            if gate.direction == "higher":
+                regressed = fresh_value < base_value * (1 - gate.tolerance)
+            else:
+                regressed = fresh_value > base_value * (1 + gate.tolerance)
+            row["ok"] = not regressed
+            row["reason"] = (
+                "%s regressed: %.6g -> %.6g (%+.1f%%, tolerance %.0f%%)"
+                % (gate.metric, base_value, fresh_value,
+                   100 * (delta or 0), 100 * gate.tolerance)
+                if regressed else None)
+        ok = ok and row["ok"]
+        gate_rows.append(row)
+
+    deltas = {}
+    for metric in sorted(set(base_metrics) & set(fresh_metrics)):
+        deltas[metric] = {
+            "baseline": base_metrics[metric],
+            "fresh": fresh_metrics[metric],
+            "delta": _delta(base_metrics[metric], fresh_metrics[metric]),
+        }
+    return {"benchmark": fresh_name, "ok": ok, "gates": gate_rows,
+            "deltas": deltas}
+
+
+def format_comparison(comparison, limit=20):
+    """Human-readable comparison: gate verdicts, then the top movers."""
+    lines = ["Comparison for %s: %s" % (
+        comparison["benchmark"], "ok" if comparison["ok"] else "REGRESSED")]
+    for row in comparison["gates"]:
+        if row["ok"]:
+            delta = row["delta"]
+            lines.append("  gate %-36s ok   (%+.1f%%, tolerance %.0f%%)"
+                         % (row["metric"], 100 * (delta or 0),
+                            100 * row["tolerance"]))
+        else:
+            lines.append("  gate %-36s FAIL %s" % (row["metric"],
+                                                   row["reason"]))
+    movers = sorted(
+        ((metric, row) for metric, row in comparison["deltas"].items()
+         if row["delta"] is not None),
+        key=lambda pair: -abs(pair[1]["delta"]))[:limit]
+    if movers:
+        lines.append("  top deltas:")
+        for metric, row in movers:
+            lines.append("    %-40s %.6g -> %.6g (%+.1f%%)"
+                         % (metric, row["baseline"], row["fresh"],
+                            100 * row["delta"]))
+    return "\n".join(lines)

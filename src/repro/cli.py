@@ -21,6 +21,10 @@ Commands::
                  through the cross-mode equivalence oracle (sharded over
                  the runner pool), shrink failures to minimal reproducers,
                  or --replay corpus cases
+    bench        run the registered benchmarks/bench_*.py targets through
+                 the repro.bench harness; write schema-versioned
+                 BENCH_*.json reports and, with --compare, gate against a
+                 committed baseline
 
 Every command prints paper-style tables to stdout; progress and
 diagnostic noise goes to stderr, so machine-readable output (``sweep
@@ -43,11 +47,31 @@ from repro.common.params import PAGE_SIZES
 from repro.core.machine import System
 from repro.core.simulator import Simulator
 from repro.fuzz.scenario import PROFILES
+from repro.obs.metrics import MetricsRegistry
 from repro.workloads.suite import PAPER_FOOTPRINTS, SUITE
 
 
 def _workload_classes():
     return {cls.name: cls for cls in SUITE}
+
+
+def _throughput_suffix(event):
+    """Progress-line tail from a runner/campaign heartbeat event.
+
+    ``" | 3.2/s eta 12s [shard 0/4]"`` when the event carries rate/ETA
+    (and shard) keys; empty otherwise, so old-style events still format.
+    """
+    parts = ""
+    rate = event.get("rate")
+    if rate is not None:
+        parts += " | %.1f/s" % rate
+        eta = event.get("eta")
+        if eta is not None:
+            parts += " eta %.0fs" % eta
+    shard = event.get("shard")
+    if shard is not None:
+        parts += " [shard %s]" % shard
+    return parts
 
 
 def _build_config(args):
@@ -250,13 +274,17 @@ def cmd_sweep(args, out, err):
     def progress(event):
         if args.quiet:
             return
-        print("[%d/%d] %-28s %-7s (attempts=%d, %.2fs)" % (
+        line = "[%d/%d] %-28s %-7s (attempts=%d, %.2fs)" % (
             event["done"], event["total"], event["cell"], event["status"],
-            event["attempts"], event["elapsed"]), file=err)
+            event["attempts"], event["elapsed"])
+        line += _throughput_suffix(event)
+        print(line, file=err)
 
+    registry = MetricsRegistry()
     runner = SweepRunner(workers=args.workers, cache=cache,
                          timeout=args.timeout, retries=args.retries,
-                         progress=progress, trace_dir=args.trace_dir)
+                         progress=progress, trace_dir=args.trace_dir,
+                         metrics=registry)
     sweep = runner.run(cells, shard=shard)
 
     # With --json - the table would corrupt the JSON stream; divert it.
@@ -280,6 +308,9 @@ def cmd_sweep(args, out, err):
         traced = sum(1 for r in sweep if r.trace_path is not None)
         print("%d trace payload(s) in %s" % (traced, args.trace_dir), file=err)
     if args.json:
+        # Ship the runner's metrics snapshot with the summary so sharded
+        # invocations can be merged downstream (MetricsSnapshot.merge).
+        summary["metrics"] = registry.snapshot().to_dict()
         if args.json == "-":
             print(json.dumps(summary, indent=2, sort_keys=True), file=out)
         else:
@@ -483,15 +514,18 @@ def cmd_fuzz(args, out, err):
     def progress(event):
         if args.quiet:
             return
-        print("[%d/%d] %-36s %s (%.2fs)" % (
+        line = "[%d/%d] %-36s %s (%.2fs)" % (
             event["done"], event["total"], event["cell"], event["status"],
-            event["elapsed"]), file=err)
+            event["elapsed"])
+        line += _throughput_suffix(event)
+        print(line, file=err)
 
+    registry = MetricsRegistry()
     campaign = FuzzCampaign(
         corpus_dir=args.corpus_out, workers=args.workers,
         timeout=args.timeout, shrink_budget=args.shrink_budget,
         do_shrink=not args.no_shrink, capture_traces=not args.no_traces,
-        time_budget=args.time_budget, progress=progress)
+        time_budget=args.time_budget, progress=progress, metrics=registry)
     report = campaign.run(specs, shard=shard)
 
     print("Fuzz campaign [%s, %s, %s]: %d case(s), %d clean, %d failed "
@@ -513,8 +547,100 @@ def cmd_fuzz(args, out, err):
                   % (failure.shrunk_ops, failure.reproducer), file=err)
         if failure.trace:
             print("  obs trace: %s" % failure.trace, file=err)
-    emit_json(report.summary())
+    summary = report.summary()
+    summary["metrics"] = registry.snapshot().to_dict()
+    emit_json(summary)
     return 0 if report.ok else 1
+
+
+def cmd_bench(args, out, err):
+    """The continuous-benchmarking harness: run targets, gate regressions.
+
+    Stream discipline: the results table and comparison report go to
+    ``out``; per-target progress goes to ``err``. With ``--json -`` the
+    human output moves to ``err``, leaving stdout pure JSON. Exit codes:
+    0 ok, 1 regression (or a failing benchmark), 2 usage errors.
+    """
+    import json
+
+    from repro.bench import (
+        BenchContext,
+        CompareError,
+        compare_reports,
+        discover,
+        format_comparison,
+        run_target,
+    )
+    from repro.bench.harness import load_report
+
+    try:
+        targets = discover(args.bench_dir, names=args.targets or None)
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(str(exc), file=err)
+        return 2
+
+    table_stream = err if args.json == "-" else out
+    if args.list:
+        for target in targets:
+            gates = ", ".join(
+                "%s (%s, %.0f%%)" % (g.metric, g.direction, 100 * g.tolerance)
+                for g in target.gates) or "no gates"
+            print("%-24s -> %-32s %s" % (target.name, target.output, gates),
+                  file=table_stream)
+        return 0
+
+    baseline = None
+    if args.compare:
+        try:
+            baseline = load_report(args.compare)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print("cannot load baseline: %s" % exc, file=err)
+            return 2
+        matching = [t for t in targets
+                    if t.name == baseline.get("benchmark")]
+        if not matching:
+            print("baseline %s is for benchmark %r, which is not among the "
+                  "selected targets" % (args.compare,
+                                        baseline.get("benchmark")), file=err)
+            return 2
+        targets = matching
+
+    exit_code = 0
+    payload = {"schema": 1, "reports": [], "comparisons": []}
+    for target in targets:
+        if not args.quiet:
+            print("bench %s (quick=%s) ..." % (target.name, args.quick),
+                  file=err)
+        ctx = BenchContext(quick=args.quick, ops_override=args.ops,
+                           repeat=args.repeat)
+        try:
+            report, path = run_target(target, ctx, out_dir=args.out_dir)
+        except Exception as exc:
+            print("bench %s FAILED: %s: %s" % (target.name,
+                                               type(exc).__name__, exc),
+                  file=err)
+            exit_code = max(exit_code, 1)
+            continue
+        print("%-24s -> %s" % (target.name, path), file=table_stream)
+        payload["reports"].append(report)
+        if baseline is not None:
+            try:
+                comparison = compare_reports(baseline, report)
+            except CompareError as exc:
+                print(str(exc), file=err)
+                return 2
+            print(format_comparison(comparison), file=table_stream)
+            payload["comparisons"].append(comparison)
+            if not comparison["ok"]:
+                exit_code = max(exit_code, 1)
+    if args.json:
+        if args.json == "-":
+            print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print("bench summary written to %s" % args.json, file=err)
+    return exit_code
 
 
 def cmd_lint(args, out, err):
@@ -725,6 +851,36 @@ def build_parser():
     fuzz_parser.add_argument("--quiet", action="store_true",
                              help="suppress per-case progress lines")
 
+    bench_parser = sub.add_parser(
+        "bench", help="run registered benchmarks; gate regressions against "
+                      "a committed BENCH baseline")
+    bench_parser.add_argument("targets", nargs="*",
+                              help="benchmark target names (default: all "
+                                   "discovered)")
+    bench_parser.add_argument("--list", action="store_true",
+                              help="list discovered targets and exit")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="CI-smoke budgets: each target scales its "
+                                   "op counts down (see BenchContext.ops)")
+    bench_parser.add_argument("--ops", type=int, default=None,
+                              help="pin every target's op budget")
+    bench_parser.add_argument("--repeat", type=int, default=None,
+                              help="override each target's timing repeats")
+    bench_parser.add_argument("--bench-dir", default="benchmarks",
+                              help="directory of bench_*.py files "
+                                   "(default: benchmarks)")
+    bench_parser.add_argument("--out-dir", default=".",
+                              help="where BENCH_*.json reports are written "
+                                   "(default: the current directory)")
+    bench_parser.add_argument("--compare", default=None, metavar="BASELINE",
+                              help="compare against this BENCH_*.json and "
+                                   "exit 1 on gated regressions")
+    bench_parser.add_argument("--json", default=None, metavar="PATH",
+                              help="write reports + comparisons as JSON to "
+                                   "PATH ('-' to print)")
+    bench_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-target progress lines")
+
     def add_lint_args(p, deep_default=False):
         p.add_argument(
             "paths", nargs="*",
@@ -774,6 +930,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "profile": cmd_profile,
     "fuzz": cmd_fuzz,
+    "bench": cmd_bench,
     "lint": cmd_lint,
     "check": cmd_check,
 }

@@ -46,17 +46,35 @@ class FastSystem(System):
         """
         frames = [] if collect_frames else None
         mmu = self.mmu
+        metrics = self.metrics
+        m_on = metrics.enabled
         order = mmu.hierarchy._order
         if kind != "data" or self.tracer.enabled or len(order) != 1:
             # Streams the inline loop does not model: take the reference
-            # path per op (still faster than caller-side loops).
+            # path per op (still faster than caller-side loops). Note a
+            # live metrics registry does NOT land here — the inline loop
+            # attributes its own fallbacks below.
+            if m_on:
+                if kind != "data":
+                    reason = "fastpath.fallback.kind"
+                elif self.tracer.enabled:
+                    reason = "fastpath.fallback.tracing"
+                else:
+                    reason = "fastpath.fallback.multi_granule"
+                stream_ops = 0
             access = self.access
             if frames is None:
                 for va in vas:
                     access(va, is_write, kind)
-                return None
-            for va in vas:
-                frames.append(access(va, is_write, kind).frame)
+                    if m_on:
+                        stream_ops += 1
+            else:
+                for va in vas:
+                    frames.append(access(va, is_write, kind).frame)
+                    if m_on:
+                        stream_ops += 1
+            if m_on:
+                metrics.inc(reason, stream_ops)
             return frames
 
         proc = self.kernel.current
@@ -96,6 +114,8 @@ class FastSystem(System):
             nonlocal a_l1h, a_l2h, a_evict
             a_ops = a_l1h + a_l2h
             if a_ops:
+                if m_on:
+                    metrics.inc("fastpath.inline_ops", a_ops)
                 self.ops += a_ops
                 if is_write:
                     self.writes += a_ops
@@ -139,6 +159,8 @@ class FastSystem(System):
                     # Write upgrade: re-walk on the reference path. The
                     # probe above left no trace, so access() redoes it
                     # with reference-identical effects.
+                    if m_on:
+                        metrics.inc("fastpath.fallback.write_upgrade")
                     _flush()
                     outcome = access(va, is_write, kind)
                     if frames is not None:
@@ -159,6 +181,8 @@ class FastSystem(System):
                 vals = l1_vals[set_index]
                 val = vals[i]
                 if is_write and val & 3 != 3:
+                    if m_on:
+                        metrics.inc("fastpath.fallback.write_upgrade")
                     _flush()
                     outcome = access(va, is_write, kind)
                     if frames is not None:
@@ -210,7 +234,19 @@ class FastSystem(System):
                             self._policy_epoch()
                             _resync()
                         continue
-            # Full miss (or dirty L2 write upgrade): reference path.
+                    # Dirty/read-only L2 hit under a write: an upgrade
+                    # re-walk, same fallback sequence as the L1 sites.
+                    if m_on:
+                        metrics.inc("fastpath.fallback.write_upgrade")
+                    _flush()
+                    outcome = access(va, is_write, kind)
+                    if frames is not None:
+                        frames.append(outcome.frame)
+                    _resync()
+                    continue
+            # Full miss: reference path.
+            if m_on:
+                metrics.inc("fastpath.fallback.miss")
             _flush()
             outcome = access(va, is_write, kind)
             if frames is not None:

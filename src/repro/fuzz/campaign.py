@@ -27,7 +27,8 @@ from repro.fuzz import corpus as corpus_mod
 from repro.fuzz.oracle import DEFAULT_MODES, DifferentialOracle, build_system
 from repro.fuzz.scenario import ScenarioGenerator
 from repro.fuzz.shrink import shrink
-from repro.runner.sweep import SweepRunner
+from repro.obs.metrics import NULL_METRICS
+from repro.runner.sweep import SweepRunner, shard_cells
 
 
 def _wall_time():
@@ -189,7 +190,8 @@ class FuzzCampaign:
 
     def __init__(self, corpus_dir=None, workers=1, timeout=None,
                  shrink_budget=200, do_shrink=True, capture_traces=True,
-                 time_budget=None, progress=None, mp_context=None):
+                 time_budget=None, progress=None, mp_context=None,
+                 metrics=None):
         self.corpus_dir = corpus_dir
         self.workers = workers
         self.timeout = timeout
@@ -199,15 +201,26 @@ class FuzzCampaign:
         self.time_budget = time_budget
         self.progress = progress
         self.mp_context = mp_context
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def run(self, specs, shard=None):
         started = _wall_time()
         report = CampaignReport()
         runner = SweepRunner(
             workers=self.workers, cache=None, timeout=self.timeout,
-            retries=0, progress=self.progress, mp_context=self.mp_context,
-            executor=execute_fuzz_case, decode=FuzzCaseResult.from_dict)
+            retries=0, progress=None, mp_context=self.mp_context,
+            executor=execute_fuzz_case, decode=FuzzCaseResult.from_dict,
+            metrics=self.metrics)
         remaining = list(specs)
+        if shard is not None:
+            # Pre-filter instead of sharding per wave: shard assignment
+            # hashes only the cell key, so filtering the whole grid up
+            # front selects exactly the cells per-wave sharding would —
+            # and campaign-wide progress (done/total, ETA) stays honest.
+            k, n = shard
+            keep = {s.cell_key() for s in shard_cells(remaining, n)[k]}
+            remaining = [s for s in remaining if s.cell_key() in keep]
+        total = len(remaining)
         wave_size = max(4, 4 * self.workers)
         while remaining:
             if (self.time_budget is not None and report.cases
@@ -215,7 +228,8 @@ class FuzzCampaign:
                 report.budget_exhausted = True
                 break
             wave, remaining = remaining[:wave_size], remaining[wave_size:]
-            sweep = runner.run(wave, shard=shard)
+            runner.progress = self._wave_progress(report.cases, total, started)
+            sweep = runner.run(wave)
             for cell in sweep:
                 report.cases += 1
                 if cell.succeeded and cell.metrics.ok:
@@ -223,6 +237,34 @@ class FuzzCampaign:
                 else:
                     report.failures.append(self._process_failure(cell))
         report.elapsed = _wall_time() - started
+        if self.metrics.enabled:
+            self.metrics.inc("fuzz.cases", report.cases)
+            self.metrics.inc("fuzz.clean", report.clean)
+            self.metrics.inc("fuzz.failed", len(report.failures))
+        return report
+
+    def _wave_progress(self, done_base, total, started):
+        """Lift per-wave runner progress to campaign-cumulative events.
+
+        The runner reports done/total *within its wave*; callers want
+        campaign-wide counts and an ETA over the full grid, so rebase
+        the counters and recompute rate/ETA from the campaign clock.
+        """
+        if self.progress is None:
+            return None
+
+        def report(event):
+            event = dict(event)
+            event["done"] = done_base + event["done"]
+            event["total"] = total
+            wall = _wall_time() - started
+            if wall > 0:
+                rate = event["done"] / wall
+                event["rate"] = rate
+                event["eta"] = ((total - event["done"]) / rate
+                                if rate > 0 else None)
+            self.progress(event)
+
         return report
 
     # -- failure handling -----------------------------------------------------

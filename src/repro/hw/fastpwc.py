@@ -94,3 +94,7 @@ class FastPageWalkCache(PageWalkCache):
         for depth in range(1, self.MAX_SKIP + 1):
             del self._tags[depth][:]
             del self._payloads[depth][:]
+
+    def occupancy(self):
+        """Live entries across all skip tables (for occupancy gauges)."""
+        return sum(len(tags) for tags in self._tags.values())

@@ -62,6 +62,8 @@ class BatchWalker(PageWalker):
         as if the caller had looped over :meth:`walk`.
         """
         dispatch = self.DISPATCH
+        metrics = self.metrics
+        m_on = metrics.enabled
         results = []
         append = results.append
         for va, ctx, is_write in requests:
@@ -69,7 +71,11 @@ class BatchWalker(PageWalker):
             if handler is None:
                 raise SimulationError("unknown paging mode %r" % (ctx.mode,))
             try:
-                append(handler(self, va, ctx, is_write))
+                result = handler(self, va, ctx, is_write)
             except WALK_FAULTS as fault:
                 append(fault)
+                continue
+            if m_on:
+                metrics.observe("walker.batch_refs", result.refs)
+            append(result)
         return results

@@ -17,7 +17,13 @@ from repro.hw.pwc import PageWalkCache
 from repro.hw.tlbhierarchy import MultiSizeTLB
 from repro.hw.walker import PageWalker
 from repro.hw.walkstats import NESTED_FULL
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
+
+# walker.depth histogram encodes the NESTED_FULL sentinel as this bucket
+# value (one past the deepest agile nesting level), keeping the layer-0
+# metrics module free of hw vocabulary.
+DEPTH_NESTED_FULL = 5
 
 
 class MMUCounters:
@@ -120,11 +126,12 @@ class MMU:
         # BadgerTrap analogue: when set, called as miss_hook(va, WalkResult)
         # after every successful page walk (i.e., every TLB miss).
         self.miss_hook = None
-        # Observability: a null object until System.attach_observability
-        # installs a real tracer; `clock` is set alongside it. Hot paths
-        # pay one attribute load + branch when tracing is off.
+        # Observability: null objects until System.attach_observability
+        # installs a real tracer/registry; `clock` is set alongside the
+        # tracer. Hot paths pay one attribute load + branch when off.
         self.tracer = NULL_TRACER
         self.clock = None
+        self.metrics = NULL_METRICS
 
     @takes(va="gva")
     def translate(self, ctx, va, is_write=False, kind="data"):
@@ -157,6 +164,14 @@ class MMU:
         self.counters.walk_refs += result.refs
         if ctx.mode == "agile":
             self.counters.walks_by_depth[result.nested_levels] += 1
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.observe("walker.refs", result.refs)
+            if ctx.mode == "agile":
+                depth = result.nested_levels
+                metrics.observe("walker.depth",
+                                DEPTH_NESTED_FULL if depth == NESTED_FULL
+                                else depth)
         if tracer.enabled:
             tracer.walk(self.clock.now if self.clock else 0, result.mode,
                         result.refs, result.nested_levels, result.page_shift,

@@ -65,3 +65,7 @@ class NestedTLB:
 
     def flush(self):
         self._entries.clear()
+
+    def occupancy(self):
+        """Live entries (for occupancy gauges)."""
+        return len(self._entries)

@@ -35,6 +35,7 @@ from repro.common.params import (
 )
 from repro.hw.pwc import PWC_GUEST, PWC_NATIVE, PWC_SHADOW
 from repro.hw.walkstats import NESTED_FULL, WalkResult
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -79,11 +80,12 @@ class PageWalker:
         # hits of the current walk (the MMU resets it per translation).
         self.pte_cache = None
         self.cached_refs = 0
-        # Observability: null object until System.attach_observability
-        # installs a tracer; probes of the walk-acceleration structures
-        # (PWCs, nested TLB) are emitted as `pwc` events.
+        # Observability: null objects until System.attach_observability
+        # installs a tracer/registry; probes of the walk-acceleration
+        # structures (PWCs, nested TLB) are emitted as `pwc` events.
         self.tracer = NULL_TRACER
         self.clock = None
+        self.metrics = NULL_METRICS
 
     # -- low-level helpers -------------------------------------------------
 

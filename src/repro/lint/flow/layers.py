@@ -6,13 +6,13 @@ strictly downward:
     common(0) < mem(1) < hw/guest/workloads(2) < vmm(3) < core(4)
               < runner/obs/fuzz/analysis/lint(5) < cli(6)
 
-Two deliberate inversions are declared rather than discovered:
-``repro.obs.tracer`` and ``repro.obs.events`` sit at layer 0 even
-though the rest of ``repro.obs`` is a layer-5 consumer. They are the
-observability *ports* — pure data types plus a null object with no
-imports of their own — that hw/vmm/core emit into, the standard
-dependency-inversion shape (the alternative, homing them in ``common``,
-would split the obs package's public API in two).
+Three deliberate inversions are declared rather than discovered:
+``repro.obs.tracer``, ``repro.obs.events``, and ``repro.obs.metrics``
+sit at layer 0 even though the rest of ``repro.obs`` is a layer-5
+consumer. They are the observability *ports* — pure data types plus a
+null object with no imports of their own — that hw/vmm/core emit into,
+the standard dependency-inversion shape (the alternative, homing them
+in ``common``, would split the obs package's public API in two).
 """
 
 LAYERS = {
@@ -28,6 +28,7 @@ LAYERS = {
     "fuzz": 5,
     "analysis": 5,
     "lint": 5,
+    "bench": 5,
     "cli": 6,
 }
 
@@ -35,6 +36,7 @@ LAYERS = {
 MODULE_LAYER_OVERRIDES = {
     "repro.obs.tracer": 0,
     "repro.obs.events": 0,
+    "repro.obs.metrics": 0,
 }
 
 

@@ -7,6 +7,7 @@ discipline rules.
 """
 
 import ast
+import re
 
 from repro.lint.engine import ProjectRule, Rule
 
@@ -145,9 +146,15 @@ class UnseededRandomRule(Rule):
     rule_id = "REPRO101"
     name = "unseeded-random"
     description = ("simulator code must use explicitly seeded RNGs and the "
-                   "simulated clock, never global random state or wall time")
+                   "simulated clock, never global random state or wall time "
+                   "(benchmarks/ exempt: timing harnesses read the wall "
+                   "clock by design)")
+
+    EXEMPT_SCOPE = "benchmarks/"
 
     def check_file(self, source_file):
+        if self.EXEMPT_SCOPE in source_file.posix_path:
+            return
         aliases = _import_aliases(source_file.tree, source_file.package)
         for node in ast.walk(source_file.tree):
             if not isinstance(node, ast.Call):
@@ -440,13 +447,18 @@ class BarePrintRule(Rule):
     rule_id = "REPRO301"
     name = "bare-print"
     description = ("library code must not call print() without an explicit "
-                   "file= stream (cli.py and analysis/tables.py exempt)")
+                   "file= stream (cli.py, analysis/tables.py and the "
+                   "benchmarks/ presentation harnesses exempt)")
 
     EXEMPT_SUFFIXES = ("repro/cli.py", "repro/analysis/tables.py")
+    EXEMPT_DIRS = ("benchmarks/",)
 
     def check_file(self, source_file):
         if any(source_file.endswith(suffix)
                for suffix in self.EXEMPT_SUFFIXES):
+            return
+        if any(directory in source_file.posix_path
+               for directory in self.EXEMPT_DIRS):
             return
         for node in ast.walk(source_file.tree):
             if (isinstance(node, ast.Call)
@@ -458,6 +470,81 @@ class BarePrintRule(Rule):
                     "bare `print(...)` writes to ambient stdout; pass an "
                     "explicit stream (`print(..., file=out)`) or move the "
                     "output to the CLI layer")
+
+
+class BenchRegistrationRule(Rule):
+    """Every ``benchmarks/bench_*.py`` must register with the bench harness.
+
+    ``repro bench`` discovers targets by importing each bench file and
+    scanning for functions decorated ``@bench_target(name, output=...)``.
+    A bench file without a registration is invisible to the harness —
+    and therefore to the ``--compare`` regression gates — so it silently
+    falls out of continuous benchmarking. The declared ``output`` must
+    be a literal ``BENCH_<name>.json`` filename (the same pattern
+    ``repro.bench.registry.OUTPUT_NAME_RE`` enforces at run time) so the
+    owned report file is knowable without importing the benchmark.
+    """
+
+    rule_id = "REPRO302"
+    name = "bench-registration"
+    description = ("benchmarks/bench_*.py must register a target via "
+                   "@bench_target and declare a literal BENCH_*.json output")
+
+    SCOPE = "benchmarks/"
+    #: Mirror of repro.bench.registry.OUTPUT_NAME_RE — lint sits below
+    #: the bench layer and must not import it (REPRO501).
+    OUTPUT_RE = re.compile(r"^BENCH_[A-Za-z0-9_]+\.json$")
+
+    @staticmethod
+    def _tail_name(node):
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def _in_scope(self, source_file):
+        posix = source_file.posix_path
+        if self.SCOPE not in posix:
+            return False
+        basename = posix.rsplit("/", 1)[-1]
+        return basename.startswith("bench_") and basename.endswith(".py")
+
+    def check_file(self, source_file):
+        if not self._in_scope(source_file):
+            return
+        calls = [node for node in ast.walk(source_file.tree)
+                 if isinstance(node, ast.Call)
+                 and self._tail_name(node.func) == "bench_target"]
+        if not calls:
+            yield self.finding(
+                source_file, source_file.tree,
+                "benchmark file registers no target; decorate its entry "
+                "point with @bench_target(name, output=\"BENCH_<name>.json\")"
+                " so `repro bench` discovers and gates it")
+            return
+        for call in calls:
+            output = call.args[1] if len(call.args) >= 2 else None
+            for keyword in call.keywords:
+                if keyword.arg == "output":
+                    output = keyword.value
+            if output is None:
+                yield self.finding(
+                    source_file, call,
+                    "bench_target(...) declares no output= report name; "
+                    "every target must own a BENCH_<name>.json file")
+            elif not (isinstance(output, ast.Constant)
+                      and isinstance(output.value, str)):
+                yield self.finding(
+                    source_file, call,
+                    "bench_target output must be a string literal so the "
+                    "owned BENCH file is knowable without importing the "
+                    "benchmark")
+            elif not self.OUTPUT_RE.match(output.value):
+                yield self.finding(
+                    source_file, call,
+                    "bench_target output %r must match BENCH_<name>.json"
+                    % (output.value,))
 
 
 class _FakeNode:
@@ -478,4 +565,5 @@ DEFAULT_RULES = (
     PolicyHooksRule(),
     TrapAccountingRule(),
     BarePrintRule(),
+    BenchRegistrationRule(),
 )

@@ -41,6 +41,17 @@ from repro.obs.events import (
     vmtrap_counts,
 )
 from repro.obs.interval import IntervalRecorder
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SNAPSHOT_SCHEMA_VERSION,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetrics,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -61,4 +72,13 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Tracer",
+    "DEFAULT_BUCKETS",
+    "METRICS_SNAPSHOT_SCHEMA_VERSION",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullMetrics",
 ]

@@ -1,0 +1,95 @@
+"""Regression gating: compare_reports semantics and rendering."""
+
+import pytest
+
+from repro.bench import CompareError, compare_reports, format_comparison
+
+
+def _report(name="demo", metrics=None, gates=None):
+    return {
+        "schema": 2,
+        "benchmark": name,
+        "metrics": metrics or {},
+        "gates": gates or [],
+    }
+
+
+GATE_HIGHER = {"metric": "speedup", "direction": "higher", "tolerance": 0.2}
+GATE_LOWER = {"metric": "overhead", "direction": "lower", "tolerance": 0.2}
+
+
+class TestCompareReports:
+    def test_mismatched_benchmarks_raise(self):
+        with pytest.raises(CompareError):
+            compare_reports(_report("a"), _report("b"))
+
+    def test_within_tolerance_passes(self):
+        comparison = compare_reports(
+            _report(metrics={"speedup": 10.0}),
+            _report(metrics={"speedup": 9.0}, gates=[GATE_HIGHER]))
+        assert comparison["ok"] is True
+        (row,) = comparison["gates"]
+        assert row["ok"] is True and row["reason"] is None
+
+    def test_higher_gate_fails_on_drop_beyond_tolerance(self):
+        comparison = compare_reports(
+            _report(metrics={"speedup": 10.0}),
+            _report(metrics={"speedup": 7.9}, gates=[GATE_HIGHER]))
+        assert comparison["ok"] is False
+        (row,) = comparison["gates"]
+        assert "regressed" in row["reason"]
+
+    def test_higher_gate_ignores_improvement(self):
+        comparison = compare_reports(
+            _report(metrics={"speedup": 10.0}),
+            _report(metrics={"speedup": 30.0}, gates=[GATE_HIGHER]))
+        assert comparison["ok"] is True
+
+    def test_lower_gate_fails_on_rise_beyond_tolerance(self):
+        comparison = compare_reports(
+            _report(metrics={"overhead": 1.0}),
+            _report(metrics={"overhead": 1.3}, gates=[GATE_LOWER]))
+        assert comparison["ok"] is False
+
+    def test_gated_metric_missing_from_either_side_fails(self):
+        fresh_missing = compare_reports(
+            _report(metrics={"speedup": 10.0}),
+            _report(metrics={}, gates=[GATE_HIGHER]))
+        base_missing = compare_reports(
+            _report(metrics={}),
+            _report(metrics={"speedup": 10.0}, gates=[GATE_HIGHER]))
+        assert fresh_missing["ok"] is False
+        assert base_missing["ok"] is False
+        assert "missing" in fresh_missing["gates"][0]["reason"]
+
+    def test_informational_deltas_cover_shared_metrics(self):
+        comparison = compare_reports(
+            _report(metrics={"a": 2.0, "b": 1.0, "only_base": 5}),
+            _report(metrics={"a": 3.0, "b": 1.0, "only_fresh": 6}))
+        assert set(comparison["deltas"]) == {"a", "b"}
+        assert comparison["deltas"]["a"]["delta"] == pytest.approx(0.5)
+        assert comparison["deltas"]["b"]["delta"] == 0.0
+
+    def test_zero_baseline_delta_is_none_not_division_error(self):
+        comparison = compare_reports(
+            _report(metrics={"a": 0}),
+            _report(metrics={"a": 4}))
+        assert comparison["deltas"]["a"]["delta"] is None
+
+
+class TestFormatComparison:
+    def test_renders_verdicts_and_top_movers(self):
+        comparison = compare_reports(
+            _report(metrics={"speedup": 10.0, "noise": 1.0}),
+            _report(metrics={"speedup": 5.0, "noise": 1.01},
+                    gates=[GATE_HIGHER]))
+        text = format_comparison(comparison)
+        assert "REGRESSED" in text
+        assert "FAIL" in text
+        assert "speedup" in text
+
+    def test_ok_comparison_reads_ok(self):
+        comparison = compare_reports(
+            _report(metrics={"speedup": 10.0}),
+            _report(metrics={"speedup": 10.0}, gates=[GATE_HIGHER]))
+        assert "ok" in format_comparison(comparison)

@@ -53,9 +53,22 @@ def test_committed_benchmark_report_is_fresh_and_passing():
                         "BENCH_core_throughput.json")
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
-    assert report["schema"] == bench.SCHEMA
+    # Schema-2 harness envelope: provenance + gates around the result.
+    assert report["schema"] == 2
     assert report["benchmark"] == "core_throughput"
-    assert set(report["modes"]) == {"native", "nested", "shadow", "agile"}
-    for mode, data in report["modes"].items():
-        assert data["best_speedup"] >= report["gate_speedup"], mode
-    assert report["summary"]["min_best_speedup"] >= report["gate_speedup"]
+    assert report["quick"] is False
+    for key in ("host", "python", "git_sha", "generated_at"):
+        assert key in report["provenance"]
+    gated = {gate["metric"] for gate in report["gates"]}
+    assert "summary.geomean_speedup" in gated
+
+    result = report["result"]
+    assert set(result["modes"]) == {"native", "nested", "shadow", "agile"}
+    for mode, data in result["modes"].items():
+        assert data["best_speedup"] >= result["gate_speedup"], mode
+        for cell in data["scenarios"]:
+            # Every cell attributes why it left the inline loop — the
+            # per-reason fallback counts the report exists to explain.
+            assert "inline" in cell["fallbacks"], (mode, cell["scenario"])
+    assert result["summary"]["min_best_speedup"] >= result["gate_speedup"]
+    assert result["gate_speedup"] == bench.SPEEDUP_GATE

@@ -48,3 +48,14 @@ def test_stripping_a_trap_handler_fails_deep_lint(tmp_path):
     findings, _checked = LintEngine(DEEP_RULES).run([str(mutant)])
     assert [f.rule_id for f in findings] == ["REPRO401"]
     assert "handle_shadow_fault" in findings[0].message
+
+
+def test_benchmarks_tree_lints_clean():
+    """Every shipped bench file must register with the harness (REPRO302)
+    and stay inside the benchmarks/ exemption envelope."""
+    bench_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "..", "..", "benchmarks")
+    engine = LintEngine(DEFAULT_RULES)
+    findings, checked = engine.run([bench_dir])
+    assert checked >= 16  # all bench_*.py plus the shared helpers
+    assert findings == [], "\n".join(f.format() for f in findings)

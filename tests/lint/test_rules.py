@@ -272,3 +272,99 @@ class TestBarePrint:
             "        self.printer.print(msg)\n"
         )})
         assert findings == []
+
+
+class TestBenchmarksExemptions:
+    def test_benchmarks_may_read_the_wall_clock(self, tmp_path):
+        # Timing harnesses are the one place wall-clock reads are the
+        # point; REPRO101 skips benchmarks/ entirely.
+        findings = lint_sources(tmp_path, {"benchmarks/bench_x.py": (
+            "import time\n"
+            "from repro.bench import bench_target\n"
+            "@bench_target('x', output='BENCH_x.json')\n"
+            "def bench(ctx):\n"
+            "    return {'t': time.perf_counter()}\n"
+        )})
+        assert findings == []
+
+    def test_benchmarks_may_print_bare(self, tmp_path):
+        findings = lint_sources(tmp_path, {"benchmarks/_util.py": (
+            "def emit(name, text):\n"
+            "    print(text)\n"
+        )})
+        assert findings == []
+
+    def test_src_is_still_covered(self, tmp_path):
+        findings = lint_sources(tmp_path, {"repro/core/machine.py": (
+            "import time\n"
+            "t = time.perf_counter()\n"
+            "print(t)\n"
+        )})
+        assert rule_ids(findings) == ["REPRO101", "REPRO301"]
+
+
+class TestBenchRegistration:
+    def test_unregistered_bench_file_is_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {"benchmarks/bench_orphan.py": (
+            "def bench(ctx):\n"
+            "    return {}\n"
+        )})
+        assert rule_ids(findings) == ["REPRO302"]
+        assert "registers no target" in findings[0].message
+
+    def test_registered_bench_file_is_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {"benchmarks/bench_good.py": (
+            "from repro.bench import bench_target\n"
+            "@bench_target('good', output='BENCH_good.json')\n"
+            "def bench(ctx):\n"
+            "    return {}\n"
+        )})
+        assert findings == []
+
+    def test_missing_output_is_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {"benchmarks/bench_bad.py": (
+            "from repro.bench import bench_target\n"
+            "@bench_target('bad')\n"
+            "def bench(ctx):\n"
+            "    return {}\n"
+        )})
+        assert rule_ids(findings) == ["REPRO302"]
+        assert "no output=" in findings[0].message
+
+    def test_non_literal_output_is_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {"benchmarks/bench_bad.py": (
+            "from repro.bench import bench_target\n"
+            "NAME = 'BENCH_bad.json'\n"
+            "@bench_target('bad', output=NAME)\n"
+            "def bench(ctx):\n"
+            "    return {}\n"
+        )})
+        assert rule_ids(findings) == ["REPRO302"]
+        assert "string literal" in findings[0].message
+
+    def test_malformed_output_name_is_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {"benchmarks/bench_bad.py": (
+            "from repro.bench import bench_target\n"
+            "@bench_target('bad', output='results-bad.json')\n"
+            "def bench(ctx):\n"
+            "    return {}\n"
+        )})
+        assert rule_ids(findings) == ["REPRO302"]
+        assert "BENCH_<name>.json" in findings[0].message
+
+    def test_positional_output_argument_is_accepted(self, tmp_path):
+        findings = lint_sources(tmp_path, {"benchmarks/bench_pos.py": (
+            "from repro.bench import bench_target\n"
+            "@bench_target('pos', 'BENCH_pos.json')\n"
+            "def bench(ctx):\n"
+            "    return {}\n"
+        )})
+        assert findings == []
+
+    def test_non_bench_files_out_of_scope(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "benchmarks/_util.py": "X = 1\n",
+            "benchmarks/conftest.py": "Y = 2\n",
+            "repro/bench/registry.py": "Z = 3\n",
+        })
+        assert findings == []

@@ -1,0 +1,141 @@
+"""The metrics registry: typing, null path, snapshot/merge algebra."""
+
+import pytest
+
+from repro.obs.metrics import (
+    METRICS_SNAPSHOT_SCHEMA_VERSION,
+    NULL_METRICS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetrics,
+)
+
+
+def _filled(seed=0):
+    """A registry with one of each instrument, offset by ``seed``."""
+    registry = MetricsRegistry()
+    registry.inc("ops", 10 + seed)
+    registry.inc("fallbacks.miss", 3)
+    registry.set_gauge("occupancy", 40 + seed)
+    for value in (1, 2, 5 + seed, 30):
+        registry.observe("refs", value, bounds=(1, 4, 16))
+    return registry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot().counters["ops"] == 5
+
+    def test_gauge_holds_last_value(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("occ", 3)
+        registry.set_gauge("occ", 7)
+        assert registry.snapshot().gauges["occ"] == 7
+
+    def test_histogram_buckets_and_stats(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("refs", bounds=(2, 4))
+        for value in (1, 2, 3, 100):
+            hist.observe(value)
+        snap = registry.snapshot().histograms["refs"]
+        assert snap["bounds"] == [2, 4]
+        assert snap["counts"] == [2, 1, 1]  # <=2, <=4, overflow
+        assert snap["count"] == 4
+        assert snap["min"] == 1 and snap["max"] == 100
+
+    def test_cross_kind_reregistration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_histogram_bounds_must_agree(self):
+        registry = MetricsRegistry()
+        registry.histogram("refs", bounds=(1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("refs", bounds=(1, 3))
+
+
+class TestNullPath:
+    def test_null_metrics_disabled_and_inert(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.inc("ops")
+        NULL_METRICS.set_gauge("occ", 1)
+        NULL_METRICS.observe("refs", 2)
+        snap = NULL_METRICS.snapshot()
+        assert snap.counters == {} and snap.gauges == {}
+        assert snap.histograms == {}
+
+    def test_registry_is_a_null_metrics_subtype(self):
+        # Call sites type against the null object; the live registry
+        # must be substitutable everywhere NULL_METRICS is.
+        assert isinstance(MetricsRegistry(), NullMetrics)
+        assert MetricsRegistry().enabled is True
+
+
+class TestSnapshotAlgebra:
+    def test_merge_counters_add_gauges_max_histograms_bucketwise(self):
+        merged = _filled(0).snapshot().merge(_filled(5).snapshot())
+        assert merged.counters["ops"] == 25
+        assert merged.counters["fallbacks.miss"] == 6
+        assert merged.gauges["occupancy"] == 45  # high-water mark
+        hist = merged.histograms["refs"]
+        assert hist["count"] == 8
+        assert sum(hist["counts"]) == 8
+
+    def test_merge_is_associative_and_commutative(self):
+        a, b, c = (_filled(s).snapshot() for s in (0, 3, 11))
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        swapped = c.merge(a).merge(b)
+        assert left == right == swapped
+
+    def test_merge_identity_is_the_empty_snapshot(self):
+        snap = _filled().snapshot()
+        assert snap.merge(MetricsSnapshot()) == snap
+        assert MetricsSnapshot().merge(snap) == snap
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        a = MetricsRegistry()
+        a.observe("refs", 1, bounds=(1, 2))
+        b = MetricsRegistry()
+        b.observe("refs", 1, bounds=(1, 3))
+        with pytest.raises(ValueError):
+            a.snapshot().merge(b.snapshot())
+
+
+class TestSerialization:
+    def test_round_trip_through_to_dict(self):
+        snap = _filled().snapshot()
+        assert MetricsSnapshot.from_dict(snap.to_dict()) == snap
+
+    def test_to_dict_carries_schema_version(self):
+        payload = _filled().snapshot().to_dict()
+        assert payload["schema_version"] == METRICS_SNAPSHOT_SCHEMA_VERSION
+
+    def test_foreign_schema_version_rejected(self):
+        payload = _filled().snapshot().to_dict()
+        payload["schema_version"] = METRICS_SNAPSHOT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            MetricsSnapshot.from_dict(payload)
+
+    def test_json_round_trip(self):
+        import json
+
+        snap = _filled().snapshot()
+        revived = MetricsSnapshot.from_dict(
+            json.loads(json.dumps(snap.to_dict())))
+        assert revived == snap
+
+    def test_registry_absorbs_snapshots(self):
+        # merge_snapshot is the worker-to-parent aggregation path: a
+        # fresh registry fed two shard snapshots equals their merge.
+        registry = MetricsRegistry()
+        registry.merge_snapshot(_filled(0).snapshot())
+        registry.merge_snapshot(_filled(5).snapshot())
+        assert (registry.snapshot()
+                == _filled(0).snapshot().merge(_filled(5).snapshot()))
