@@ -25,11 +25,13 @@ from repro.common.config import (
     MODE_NESTED,
     MODE_SHADOW,
     CostConfig,
+    HostConfig,
     MachineConfig,
     PolicyConfig,
     sandy_bridge_config,
 )
 from repro.common.params import FOUR_KB, ONE_GB, TWO_MB
+from repro.core.hostsys import HostSystem, run_consolidated
 from repro.core.machine import System
 from repro.core.metrics import RunMetrics
 from repro.core.simulator import MachineAPI, Simulator, run_workload
@@ -45,6 +47,7 @@ __all__ = [
     "MODE_NESTED",
     "MODE_SHADOW",
     "CostConfig",
+    "HostConfig",
     "MachineConfig",
     "PolicyConfig",
     "sandy_bridge_config",
@@ -52,6 +55,8 @@ __all__ = [
     "TWO_MB",
     "ONE_GB",
     "System",
+    "HostSystem",
+    "run_consolidated",
     "RunMetrics",
     "MachineAPI",
     "Simulator",

@@ -221,6 +221,80 @@ def sandy_bridge_config(mode=MODE_NATIVE, page_size=FOUR_KB, **overrides):
     return replace(MachineConfig(mode=mode, page_size=page_size), **overrides)
 
 
+@dataclass(frozen=True)
+class HostConfig:
+    """A consolidated host: N guest VMs multiplexed over shared RAM.
+
+    The paper evaluates one guest at a time; this config describes the
+    multi-tenant deployment its claims matter most for — several VMs
+    sharing one physical machine, scheduled on one clock, with the host
+    memory optionally overcommitted (``vms * vm_frames > host_frames``).
+    Paired with a per-VM :class:`MachineConfig` by
+    :class:`repro.core.hostsys.HostSystem`.
+    """
+
+    # Number of guest VMs packed onto the host (the consolidation ratio).
+    vms: int = 2
+    # Physical host frames actually present (the commit limit ballooning
+    # defends). 0 means "no overcommit": vms * vm_frames.
+    host_frames: int = 0
+    # Per-VM host-physical reservation, in frames. Each VM allocates
+    # from its own partition of this size, so its frame numbers are
+    # bit-identical to a solo machine with host_mem_frames=vm_frames.
+    vm_frames: int = 1 << 16
+    # vCPU scheduling: round-robin with weighted quanta on the shared
+    # clock. A VM runs for quantum_cycles * weight before preemption.
+    quantum_cycles: int = 20_000
+    # Per-VM scheduling weights; empty means every VM weighs 1.0.
+    weights: tuple = ()
+    # Cross-VM world switch: VMCS save/restore plus host scheduler work.
+    # Deliberately distinct from (and costlier than) the guest-internal
+    # vmtrap_context_switch_cycles of CostConfig.
+    world_switch_cycles: int = 4_000
+    # VPID-style tagged TLBs: when False a world switch flushes the
+    # incoming VM's TLBs, as on hardware without address-space tags.
+    vpid: bool = True
+    # Ballooning: frames reclaimed from a victim per pressure episode,
+    # and the per-frame revocation cost charged to the victim's VMM.
+    balloon_batch: int = 64
+    balloon_page_cycles: int = 300
+
+    def __post_init__(self):
+        if self.vms <= 0:
+            raise ValueError("a host needs at least one VM")
+        if self.vm_frames <= 0:
+            raise ValueError("vm_frames must be positive")
+        if self.host_frames < 0:
+            raise ValueError("host_frames cannot be negative")
+        if self.quantum_cycles <= 0:
+            raise ValueError("quantum_cycles must be positive")
+        if self.weights and len(self.weights) != self.vms:
+            raise ValueError(
+                "weights must be empty or name every VM (%d given, %d VMs)"
+                % (len(self.weights), self.vms))
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("scheduling weights must be positive")
+
+    @property
+    def total_reserved_frames(self):
+        """Sum of every VM's reservation (may exceed host_frames)."""
+        return self.vms * self.vm_frames
+
+    @property
+    def commit_limit_frames(self):
+        """Physical frames the host can actually commit."""
+        return self.host_frames if self.host_frames else self.total_reserved_frames
+
+    @property
+    def overcommit_ratio(self):
+        """reserved / physical — above 1.0 ballooning may be needed."""
+        return self.total_reserved_frames / self.commit_limit_frames
+
+    def weight_of(self, vm_id):
+        """Scheduling weight of one VM (1.0 unless configured)."""
+        return float(self.weights[vm_id]) if self.weights else 1.0
+
+
 __all__ = [
     "MODE_NATIVE",
     "MODE_NESTED",
@@ -238,6 +312,7 @@ __all__ = [
     "PolicyConfig",
     "CostConfig",
     "MachineConfig",
+    "HostConfig",
     "sandy_bridge_tlbs",
     "sandy_bridge_config",
     "FOUR_KB",

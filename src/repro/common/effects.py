@@ -18,7 +18,9 @@ Vocabulary:
 ``@mutates(resource)``
     This function writes the named piece of privileged VMM state.
     Resources: ``"shadow_pt"`` (the shadow table and its node-mode
-    metadata) and ``"switching_bits"`` (the agile boundary entries).
+    metadata), ``"switching_bits"`` (the agile boundary entries), and
+    ``"host_ledger"`` (the consolidated host's commit ledger — only the
+    ``repro.host`` subsystem may meter it; rule REPRO406).
 ``@trap_handler``
     A VMM entry point that runs in response to a VMexit / guest-platform
     hook — authorized to reach shadow-state mutators.
@@ -29,7 +31,7 @@ Vocabulary:
 """
 
 #: The privileged state resources ``@mutates`` may name.
-RESOURCES = ("shadow_pt", "switching_bits")
+RESOURCES = ("shadow_pt", "switching_bits", "host_ledger")
 
 
 def mutates(resource):

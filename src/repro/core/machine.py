@@ -33,7 +33,7 @@ MAX_FAULT_RETRIES = 16
 class System(GuestPlatform):
     """A complete machine: hardware + guest OS (+ VMM when virtualized)."""
 
-    def __new__(cls, config):
+    def __new__(cls, config, clock=None, host_mem=None):
         # Core selection: ``System(config)`` transparently assembles the
         # fastpath machine (repro.core.fastpath.FastSystem) when the
         # config asks for it, so every existing call site honors the
@@ -50,9 +50,17 @@ class System(GuestPlatform):
             return super().__new__(FastSystem)
         return super().__new__(cls)
 
-    def __init__(self, config):
+    def __init__(self, config, clock=None, host_mem=None):
+        """Assemble one machine.
+
+        ``clock`` and ``host_mem`` exist for the consolidated host
+        (:mod:`repro.host`): every VM on a host shares the host's clock,
+        and each receives its host-physical reservation as an externally
+        owned allocator. Solo machines leave both None and own their
+        clock and memory, exactly as before.
+        """
         self.config = config
-        self.clock = Clock()
+        self.clock = clock if clock is not None else Clock()
         self.cost = config.cost
         if config.mode == MODE_NATIVE:
             # Bare metal: one RAM serves the OS and its page tables. It is
@@ -60,12 +68,14 @@ class System(GuestPlatform):
             # is the same guest machine minus the VMM, so the OS must
             # manage an identical frame pool (or frame-allocation order
             # would diverge from the virtualized modes under pressure).
-            ram = PhysicalMemory(config.guest_mem_frames, "ram")
+            ram = (host_mem if host_mem is not None
+                   else PhysicalMemory(config.guest_mem_frames, "ram"))
             self.guest_mem = ram
             self.host_mem = ram
         else:
             self.guest_mem = PhysicalMemory(config.guest_mem_frames, "guest")
-            self.host_mem = PhysicalMemory(config.host_mem_frames, "host")
+            self.host_mem = (host_mem if host_mem is not None
+                             else PhysicalMemory(config.host_mem_frames, "host"))
         self.mmu = MMU(config, self.host_mem, self.guest_mem)
         self.vmm = None
         if config.virtualized:

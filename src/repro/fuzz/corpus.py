@@ -89,5 +89,11 @@ def replay_case(case, **config_overrides):
     scenario = Scenario.from_dict(case["scenario"])
     options = dict(case.get("oracle") or {})
     options.update(config_overrides)
-    oracle = DifferentialOracle.from_options(options)
+    if options.get("kind") == "isolation":
+        # Cross-VM isolation cases (solo vs. consolidated replay).
+        from repro.fuzz.isolation import IsolationOracle
+
+        oracle = IsolationOracle.from_options(options)
+    else:
+        oracle = DifferentialOracle.from_options(options)
     return oracle.run(scenario)

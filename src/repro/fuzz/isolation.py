@@ -1,0 +1,242 @@
+"""The cross-VM isolation oracle: solo vs. consolidated, bit for bit.
+
+The consolidation subsystem's correctness claim (``docs/multivm.md``)
+is an *isolation* invariant: multiplexing N guests over one host
+changes **when** each guest runs and what its traps cost, never what
+its memory looks like. Each VM draws frames from its own fixed-size
+partition (:class:`repro.host.memory.MeteredMemory`), so a guest's
+VM-local frame numbers — and therefore its entire gVA -> gPA -> hPA
+translation state — must be bit-identical to a solo machine built with
+``host_mem_frames`` equal to the reservation.
+
+This oracle checks exactly that, mechanically: it replays one scenario
+once on a solo machine and once per VM on a consolidated
+:class:`~repro.host.host.Host` (every VM runs the *same* scenario,
+interleaved by the vCPU scheduler in ``step_ops``-op slices), then
+asserts per VM
+
+* **guest-visible fault counts** — guest page faults, minor/COW faults,
+  protection violations, and skipped ops must match the solo run
+  exactly;
+* **guest leaf state** — every present leaf PTE (frame, writable,
+  accessed, dirty) identical to solo;
+* **composed translations** — the final gVA -> hPA map (guest leaf
+  frame pushed through the VM's host page table) identical to solo.
+
+Only trap *counts beyond the guest-visible set* and cycle costs may
+differ — world switches are charged to VMs, TLBs may be flushed on
+switch — and the oracle deliberately compares none of those.
+
+Two scoping choices, both encoded in the oracle's defaults and
+recorded in its :meth:`~IsolationOracle.options` so corpus replays are
+faithful:
+
+* **no overcommit** — ballooning revokes and re-backs frames, which
+  legitimately reassigns hfns; isolation holds for translation state
+  only while every VM stays within its reservation
+  (``host_frames=0``);
+* **VPID-tagged TLBs** (``vpid=True``) — without tags, every world
+  switch flushes the incoming VM's TLBs, whose extra refill walks
+  advance the VM's virtual time and legitimately shift its
+  clock-windowed agile policy decisions relative to solo.
+
+No policy-config neutering is needed: each consolidated VM runs on a
+:class:`~repro.common.clock.VirtualClock`, so its switching-policy
+intervals measure its *own* execution time and its decision stream —
+switching bits, trap sites, host-backing order — replays the solo
+machine's exactly. (An earlier design pinned ``write_interval``
+effectively infinite instead; the virtual clock makes the stock policy
+deterministic.)
+"""
+
+from repro.common.config import (
+    EXTENDED_MODES,
+    MODE_NATIVE,
+    HostConfig,
+    sandy_bridge_config,
+)
+from repro.common.errors import SimulationError
+from repro.common.params import PAGE_SIZES
+from repro.core.machine import System
+from repro.fuzz.oracle import ScenarioRunner, Verdict
+from repro.guest.process import GuestSegfault
+from repro.host.host import Host
+from repro.vmm.invariants import InvariantViolation
+
+#: Guest ops interpreted per schedulable slice of each VM's program.
+DEFAULT_STEP_OPS = 16
+
+
+class IsolationOracle:
+    """Replays one scenario solo and consolidated; cross-checks per VM.
+
+    ``mode``/``page_size``/``config_overrides`` shape the per-VM
+    machine exactly as :func:`repro.fuzz.oracle.build_system` would;
+    ``vms``, ``vm_frames``, ``quantum_cycles`` and ``vpid`` shape the
+    host. ``paranoid`` defaults off (the differential oracle already
+    sweeps invariants; here it would run N+1 full machines' worth).
+    """
+
+    def __init__(self, mode="agile", vms=2, page_size="4K", paranoid=False,
+                 step_ops=DEFAULT_STEP_OPS, vm_frames=1 << 16,
+                 quantum_cycles=5_000, vpid=True, **config_overrides):
+        if vms < 1:
+            raise ValueError("need at least one VM, got %d" % (vms,))
+        self.mode = mode
+        self.vms = vms
+        self.page_size = page_size
+        self.paranoid = paranoid
+        self.step_ops = max(1, step_ops)
+        self.vm_frames = vm_frames
+        self.quantum_cycles = quantum_cycles
+        self.vpid = vpid
+        self.config_overrides = dict(config_overrides)
+
+    # -- serialization (corpus cases) -----------------------------------------
+
+    def options(self):
+        """JSON-safe constructor arguments, for reproducer files.
+
+        ``kind`` routes :func:`repro.fuzz.corpus.replay_case` back to
+        this class instead of the differential oracle.
+        """
+        data = {"kind": "isolation", "mode": self.mode, "vms": self.vms,
+                "page_size": str(self.page_size), "paranoid": self.paranoid,
+                "step_ops": self.step_ops, "vm_frames": self.vm_frames,
+                "quantum_cycles": self.quantum_cycles, "vpid": self.vpid}
+        data.update(self.config_overrides)
+        return data
+
+    @classmethod
+    def from_options(cls, data):
+        data = dict(data)
+        data.pop("kind", None)
+        return cls(**data)
+
+    # -- machine construction -------------------------------------------------
+
+    def _machine_config(self):
+        if self.mode not in EXTENDED_MODES:
+            raise ValueError("unknown mode %r (have: %s)"
+                             % (self.mode, ", ".join(EXTENDED_MODES)))
+        page_size = self.page_size
+        if isinstance(page_size, str):
+            if page_size not in PAGE_SIZES:
+                raise ValueError(
+                    "unknown page size %r (have: %s)"
+                    % (page_size, ", ".join(sorted(PAGE_SIZES))))
+            page_size = PAGE_SIZES[page_size]
+        overrides = dict(self.config_overrides)
+        if self.mode != MODE_NATIVE:
+            # The solo baseline must share the consolidated VM's exact
+            # allocator geometry: host RAM sized to the reservation.
+            overrides.setdefault("host_mem_frames", self.vm_frames)
+        return sandy_bridge_config(mode=self.mode, page_size=page_size,
+                                   paranoid=self.paranoid, **overrides)
+
+    def _host_config(self):
+        return HostConfig(vms=self.vms, host_frames=0,
+                          vm_frames=self.vm_frames,
+                          quantum_cycles=self.quantum_cycles,
+                          vpid=self.vpid)
+
+    # -- state extraction -----------------------------------------------------
+
+    @staticmethod
+    def _translations(runner):
+        """The composed gVA -> hPA frame map, per live process."""
+        vmm = runner.system.vmm
+        maps = []
+        for proc in runner.procs:
+            frames = {}
+            for va, pte, _level in proc.page_table.iter_leaves():
+                if pte.present:
+                    frames[va] = (pte.frame if vmm is None
+                                  else vmm.hostpt.translate(pte.frame))
+            maps.append(frames)
+        return maps
+
+    @classmethod
+    def _state_of(cls, runner):
+        return {"faults": runner.fault_counters(),
+                "leaves": runner.leaf_snapshot(),
+                "translations": cls._translations(runner)}
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, scenario):
+        """Replay ``scenario`` solo and on every consolidated VM."""
+        config = self._machine_config()
+        try:
+            solo = ScenarioRunner(System(config))
+            solo.run(scenario)
+            solo_state = self._state_of(solo)
+        except (InvariantViolation, SimulationError, GuestSegfault) as exc:
+            return Verdict.failed(
+                "isolation-solo", "%s: %s" % (type(exc).__name__, exc),
+                modes=(self.mode,))
+
+        try:
+            host = Host(host_config=self._host_config(),
+                        machine_config=config)
+            runners = [ScenarioRunner(vm.system) for vm in host.vms]
+            host.load([self._program(runner, scenario)
+                       for runner in runners])
+            host.run()
+        except (InvariantViolation, SimulationError, GuestSegfault) as exc:
+            return Verdict.failed(
+                "isolation-consolidated",
+                "%s: %s" % (type(exc).__name__, exc), modes=(self.mode,))
+
+        for vm_id, runner in enumerate(runners):
+            verdict = self._compare(vm_id, solo_state, self._state_of(runner))
+            if verdict is not None:
+                return verdict
+        return Verdict.passed()
+
+    def _program(self, runner, scenario):
+        """A per-VM program factory interpreting the scenario in slices."""
+        step_ops = self.step_ops
+        ops = scenario.ops
+
+        def factory(_api):
+            def interpret():
+                for index, op in enumerate(ops):
+                    runner.apply(op)
+                    if (index + 1) % step_ops == 0:
+                        yield
+            return interpret()
+        return factory
+
+    def _compare(self, vm_id, solo, consolidated):
+        """One VM against the solo baseline; failed Verdict or None."""
+        modes = (self.mode, "%s@vm%d" % (self.mode, vm_id))
+        if consolidated["faults"] != solo["faults"]:
+            diffs = {key: (solo["faults"][key], consolidated["faults"][key])
+                     for key in solo["faults"]
+                     if solo["faults"][key] != consolidated["faults"][key]}
+            return Verdict.failed(
+                "isolation-faults",
+                "vm%d guest-visible fault accounting diverged from solo: %s"
+                % (vm_id, diffs), modes=modes,
+                context={"expected": solo["faults"],
+                         "actual": consolidated["faults"]})
+        for check, key in (("isolation-leaves", "leaves"),
+                           ("isolation-translation", "translations")):
+            want, have = solo[key], consolidated[key]
+            if len(want) != len(have):
+                return Verdict.failed(
+                    check, "vm%d process count diverged: solo %d vs %d"
+                    % (vm_id, len(want), len(have)), modes=modes)
+            for slot, (w, h) in enumerate(zip(want, have)):
+                if w != h:
+                    diverged = sorted(
+                        va for va in set(w) | set(h)
+                        if w.get(va) != h.get(va))[:4]
+                    return Verdict.failed(
+                        check,
+                        "vm%d proc slot %d diverged from solo at %s"
+                        % (vm_id, slot, [hex(va) for va in diverged]),
+                        modes=modes,
+                        context={"vas": [hex(va) for va in diverged]})
+        return None

@@ -1,0 +1,139 @@
+"""The Host: N guest VMs over shared, overcommitted RAM.
+
+Assembly mirrors :class:`repro.core.machine.System` one level up: where
+``System`` wires one guest's hardware + kernel (+ VMM), ``Host`` wires
+one *machine's* worth of guests — a shared clock, a global frame ledger
+partitioned into per-VM reservations, N fully independent single-VM
+systems built on those reservations, the vCPU scheduler, and the
+balloon driver.
+
+Isolation invariant (what the fuzz oracle asserts): each VM's system is
+constructed exactly as a solo machine with ``host_mem_frames`` equal to
+its reservation would be — same allocator geometry, same VM-local frame
+numbers — so consolidation changes *when* a guest runs and what its
+traps cost, never what its translations resolve to.
+"""
+
+from dataclasses import replace
+
+from repro.common.clock import Clock, VirtualClock
+from repro.common.config import MODE_NATIVE, HostConfig
+from repro.common.errors import SimulationError
+from repro.core.machine import System
+from repro.host.balloon import BalloonDriver
+from repro.host.memory import HostMemoryManager
+from repro.host.scheduler import VCpuScheduler
+from repro.host.vm import VirtualMachine
+from repro.obs.tracer import NULL_TRACER
+
+
+class Host:
+    """One consolidated physical machine."""
+
+    def __init__(self, host_config=None, machine_config=None, configs=None,
+                 tracer=None, metrics=None):
+        """Assemble the host.
+
+        ``machine_config`` applies one :class:`MachineConfig` to every
+        VM (the homogeneous grid the bench sweeps); ``configs`` gives an
+        explicit per-VM sequence instead (heterogeneous modes). Exactly
+        one of the two must be provided.
+        """
+        self.config = host_config if host_config is not None else HostConfig()
+        if (machine_config is None) == (configs is None):
+            raise SimulationError(
+                "pass exactly one of machine_config= (uniform) or "
+                "configs= (per-VM)")
+        if configs is None:
+            configs = [machine_config] * self.config.vms
+        configs = list(configs)
+        if len(configs) != self.config.vms:
+            raise SimulationError(
+                "%d per-VM configs for %d VMs" % (len(configs),
+                                                  self.config.vms))
+        self.clock = Clock()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.memory = HostMemoryManager(self.config.commit_limit_frames)
+        self.vms = []
+        for vm_id, config in enumerate(configs):
+            reservation = self._reservation_for(config)
+            # The per-VM config must agree with the reservation so any
+            # code reading config.host_mem_frames sees the truth.
+            if config.mode != MODE_NATIVE and (
+                    config.host_mem_frames != reservation):
+                config = replace(config, host_mem_frames=reservation)
+            host_mem = self.memory.attach_vm(vm_id, reservation)
+            # Each VM runs on its own virtual view of the host clock:
+            # charges pass through to host wall time, but the guest (and
+            # its VMM's policy intervals) sees only its own cycles.
+            system = System(config, clock=VirtualClock(self.clock),
+                            host_mem=host_mem)
+            if tracer is not None or metrics is not None:
+                system.attach_observability(tracer=tracer, metrics=metrics)
+            vm = VirtualMachine(vm_id, system,
+                                weight=self.config.weight_of(vm_id))
+            self.vms.append(vm)
+        self.scheduler = VCpuScheduler(self.config, self.clock,
+                                       tracer=self.tracer, metrics=metrics)
+        self.balloon = BalloonDriver(self.config, self.memory, self.vms,
+                                     tracer=self.tracer, metrics=metrics,
+                                     clock=self.clock)
+
+    def _reservation_for(self, config):
+        """Host frames reserved for one VM.
+
+        Virtualized guests draw from ``vm_frames``; a native "VM" (a
+        bare-metal tenant with no VMM) needs its RAM sized like a solo
+        native machine's — ``guest_mem_frames`` — or its allocator
+        geometry (and thus its behavior under memory pressure) would
+        diverge from the solo baseline.
+        """
+        if config.mode == MODE_NATIVE:
+            return config.guest_mem_frames
+        return self.config.vm_frames
+
+    def vm(self, vm_id):
+        return self.vms[vm_id]
+
+    def load(self, programs):
+        """Install one guest program per VM (``factory(api) -> generator``)."""
+        if len(programs) != len(self.vms):
+            raise SimulationError(
+                "%d programs for %d VMs" % (len(programs), len(self.vms)))
+        for vm, program in zip(self.vms, programs):
+            vm.load(program)
+
+    def run(self):
+        """Schedule every loaded program to completion."""
+        self.scheduler.run(self.vms)
+
+    def collect_metrics(self, label=None):
+        """Per-VM :class:`RunMetrics`, in ``vm_id`` order."""
+        prefix = label if label is not None else "vm"
+        return [vm.collect_metrics("%s%d" % (prefix, vm.vm_id))
+                for vm in self.vms]
+
+    def host_report(self):
+        """JSON-safe host-level accounting for bench/experiment output."""
+        return {
+            "vms": self.config.vms,
+            "overcommit_ratio": self.config.overcommit_ratio,
+            "world_switches": self.scheduler.world_switches,
+            "world_switch_cycles": self.scheduler.world_switch_cycles,
+            "balloon_episodes": self.balloon.episodes,
+            "balloon_frames": self.balloon.frames_reclaimed,
+            "ledger": self.memory.snapshot(),
+            "per_vm": [
+                {
+                    "vm_id": vm.vm_id,
+                    "weight": vm.weight,
+                    "cpu_cycles": vm.cpu_cycles,
+                    "world_switches": vm.world_switches,
+                    "world_switch_cycles": vm.world_switch_cycles,
+                    "balloon_frames": vm.balloon_frames,
+                    "balloon_episodes": vm.balloon_episodes,
+                }
+                for vm in self.vms
+            ],
+        }

@@ -2,7 +2,7 @@
 
 The ``repro lint --deep`` layer. :func:`~repro.lint.flow.analysis.build_program`
 turns a parsed file set into a call-graph :class:`~repro.lint.flow.analysis.Program`;
-the :data:`FLOW_RULES` (REPRO401–REPRO405, REPRO501–REPRO502) run the
+the :data:`FLOW_RULES` (REPRO401–REPRO406, REPRO501–REPRO502) run the
 interprocedural contracts over it. See ``docs/static_analysis.md``.
 """
 

@@ -3,8 +3,14 @@
 A module may import same-or-lower layers only, so dependencies point
 strictly downward:
 
-    common(0) < mem(1) < hw/guest/workloads(2) < vmm(3) < core(4)
+    common(0) < mem(1) < hw/guest/workloads(2) < vmm(3) < core/host(4)
               < runner/obs/fuzz/analysis/lint(5) < cli(6)
+
+``repro.host`` (the multi-VM consolidation subsystem) shares layer 4
+with ``core``: a Host assembles N per-VM machines exactly the way
+``System`` assembles one, and ``core.hostsys`` re-exports it as the
+``HostSystem`` runner, so the two packages legitimately import each
+other sideways.
 
 Three deliberate inversions are declared rather than discovered:
 ``repro.obs.tracer``, ``repro.obs.events``, and ``repro.obs.metrics``
@@ -23,6 +29,7 @@ LAYERS = {
     "workloads": 2,
     "vmm": 3,
     "core": 4,
+    "host": 4,
     "runner": 5,
     "obs": 5,
     "fuzz": 5,

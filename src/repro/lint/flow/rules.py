@@ -21,6 +21,7 @@ from repro.lint.rules import _resolve_relative
 # decisions drive the mode switches (Section III-C).
 SHADOW_EFFECT = "mutates:shadow_pt"
 SWITCH_EFFECT = "mutates:switching_bits"
+LEDGER_EFFECT = "mutates:host_ledger"
 ALLOWED_INTO_SHADOW = frozenset((SHADOW_EFFECT, "trap_handler",
                                  "policy_decision"))
 ALLOWED_INTO_SWITCH = frozenset((SWITCH_EFFECT, SHADOW_EFFECT,
@@ -265,6 +266,60 @@ class EventTaxonomyRule(ProjectRule):
                     members_line or 1, 0,
                     "event kind `%s` is in ALL_EVENT_KINDS but no Tracer "
                     "method ever emits it" % kind)
+
+
+class LedgerAuthorityRule(ProjectRule):
+    """REPRO406: only the host subsystem meters the commit ledger.
+
+    The consolidated host's frame ledger (``@mutates("host_ledger")``:
+    :class:`repro.host.memory.HostMemoryManager`'s charge/credit) is the
+    ground truth ballooning defends — a stray charge or credit from
+    outside the consolidation layer silently corrupts overcommit
+    accounting for *every* VM. Two obligations: (a) every call into a
+    host-ledger mutator must come from ``repro.host`` code, a trap
+    handler, or another ledger mutator; (b) every host-ledger mutator
+    must itself be defined inside ``repro.host``.
+    """
+
+    rule_id = "REPRO406"
+    name = "ledger-authority"
+    description = ("calls into @mutates(\"host_ledger\") functions are "
+                   "allowed only from repro.host, trap handlers, or other "
+                   "ledger mutators, and ledger mutators must live in "
+                   "repro.host")
+
+    HOST_PACKAGE = "repro.host"
+    ALLOWED = frozenset((LEDGER_EFFECT, "trap_handler"))
+
+    @classmethod
+    def _in_host(cls, module):
+        return (module == cls.HOST_PACKAGE
+                or module.startswith(cls.HOST_PACKAGE + "."))
+
+    def check_project(self, source_files):
+        program = build_program(source_files)
+        for qualname, info in sorted(program.functions.items()):
+            if LEDGER_EFFECT in info.effects and not self._in_host(info.module):
+                yield Finding(
+                    self.rule_id, self.name, info.path, info.lineno, 0,
+                    "host-ledger mutator `%s` is defined outside repro.host; "
+                    "commit-ledger state belongs to the consolidation "
+                    "subsystem" % qualname)
+        for info in program.functions.values():
+            if info.effects & self.ALLOWED or self._in_host(info.module):
+                continue
+            for call in info.calls:
+                mutator = next(
+                    (target for target in call.candidates
+                     if LEDGER_EFFECT in program.functions[target].effects),
+                    None)
+                if mutator is not None:
+                    yield Finding(
+                        self.rule_id, self.name, info.path, call.lineno,
+                        call.col,
+                        "`%s` calls host-ledger mutator `%s` from outside "
+                        "repro.host without trap/ledger authority"
+                        % (info.qualname, mutator))
 
 
 class DispatchExhaustivenessRule(ProjectRule):
@@ -684,6 +739,7 @@ FLOW_RULES = (
     SwitchingProvenanceRule(),
     DeterminismTaintRule(),
     EventTaxonomyRule(),
+    LedgerAuthorityRule(),
     DispatchExhaustivenessRule(),
     LayeringRule(),
     ConfigKeysRule(),

@@ -25,6 +25,11 @@ kind               emitted by / meaning
                    technique switch — with the subtree level where known
 ``ctx_switch``     a guest context switch (CR3 write), old/new pid
 ``guest_fault``    a guest page fault resolved by the guest OS
+``vm_switch``      a cross-VM world switch on a consolidated host
+                   (``repro.host``): old/new vm id, with the charged
+                   world-switch cycles as the duration
+``balloon``        a balloon/reclaim episode: the victim VM, frames
+                   revoked, and the requesting VM under pressure
 ``mark``           a named point in the run; ``measurement_start`` is
                    emitted by ``System.reset_counters`` and separates
                    warmup from the measured window
@@ -40,6 +45,8 @@ EV_PWC = "pwc"
 EV_POLICY = "policy"
 EV_CTX_SWITCH = "ctx_switch"
 EV_GUEST_FAULT = "guest_fault"
+EV_VM_SWITCH = "vm_switch"
+EV_BALLOON = "balloon"
 EV_MARK = "mark"
 
 ALL_EVENT_KINDS = (
@@ -50,6 +57,8 @@ ALL_EVENT_KINDS = (
     EV_POLICY,
     EV_CTX_SWITCH,
     EV_GUEST_FAULT,
+    EV_VM_SWITCH,
+    EV_BALLOON,
     EV_MARK,
 )
 

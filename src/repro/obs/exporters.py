@@ -24,11 +24,13 @@ metrics.
 import json
 
 from repro.obs.events import (
+    EV_BALLOON,
     EV_CTX_SWITCH,
     EV_GUEST_FAULT,
     EV_MARK,
     EV_POLICY,
     EV_VMTRAP,
+    EV_VM_SWITCH,
     EV_WALK,
     Event,
 )
@@ -70,6 +72,7 @@ _INSTANT_KINDS = {
     EV_POLICY: "policy",
     EV_CTX_SWITCH: "ctx_switch",
     EV_GUEST_FAULT: "guest_fault",
+    EV_BALLOON: "balloon",
     EV_MARK: "mark",
 }
 
@@ -97,6 +100,18 @@ def perfetto_trace(events, intervals=None, label="repro"):
                 "dur": event.dur,
                 "pid": 1,
                 "tid": "vmm",
+                "args": dict(event.data),
+            })
+        elif event.kind == EV_VM_SWITCH:
+            trace_events.append({
+                "name": "vm%s -> vm%s" % (event.data.get("old"),
+                                          event.data.get("new")),
+                "cat": EV_VM_SWITCH,
+                "ph": "X",
+                "ts": event.ts,
+                "dur": event.dur,
+                "pid": 1,
+                "tid": "host",
                 "args": dict(event.data),
             })
         elif event.kind in _INSTANT_KINDS:

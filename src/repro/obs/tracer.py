@@ -24,6 +24,7 @@ tracer into the MMU, the page walker, the VMM, and the trap accountant.
 """
 
 from repro.obs.events import (
+    EV_BALLOON,
     EV_CTX_SWITCH,
     EV_GUEST_FAULT,
     EV_MARK,
@@ -31,6 +32,7 @@ from repro.obs.events import (
     EV_PWC,
     EV_TLB_HIT,
     EV_VMTRAP,
+    EV_VM_SWITCH,
     EV_WALK,
     Event,
 )
@@ -67,6 +69,12 @@ class NullTracer:
 
     def guest_fault(self, ts, pid, va, is_write):
         """One guest page fault resolved by the guest OS."""
+
+    def vm_switch(self, ts, old_vm, new_vm, cycles):
+        """One cross-VM world switch on a consolidated host."""
+
+    def balloon(self, ts, victim_vm, frames, requester_vm):
+        """One balloon/reclaim episode revoking frames from a victim."""
 
     def mark(self, ts, name):
         """A named point in the run (e.g. measurement_start)."""
@@ -131,6 +139,15 @@ class Tracer(NullTracer):
     def guest_fault(self, ts, pid, va, is_write):
         self.events.append(Event(EV_GUEST_FAULT, ts, 0, {
             "pid": pid, "va": va, "write": bool(is_write)}))
+
+    def vm_switch(self, ts, old_vm, new_vm, cycles):
+        self.events.append(Event(EV_VM_SWITCH, ts, cycles,
+                                 {"old": old_vm, "new": new_vm}))
+
+    def balloon(self, ts, victim_vm, frames, requester_vm):
+        self.events.append(Event(EV_BALLOON, ts, 0, {
+            "victim": victim_vm, "frames": frames,
+            "requester": requester_vm}))
 
     def mark(self, ts, name):
         self.events.append(Event(EV_MARK, ts, 0, {"name": name}))

@@ -97,3 +97,14 @@ class HostPageTable:
         span = self._frames_per_page
         gpa_base = (gfn // span) * span << 12
         return self.table.unmap(gpa_base, self.page_size)
+
+    @returns("gfn")
+    def iter_mapped_gfns(self):
+        """All backed guest frame numbers, in deterministic (va) order.
+
+        The balloon driver walks this to pick revocation victims; the
+        order must be a pure function of mapping history so consolidated
+        runs replay identically.
+        """
+        for va, _pte, _level in self.table.iter_leaves():
+            yield va >> 12

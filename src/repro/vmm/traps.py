@@ -37,6 +37,10 @@ REVERT_REBUILD = "revert_rebuild"
 SHSP_REBUILD = "shsp_rebuild"
 # VMM-initiated content-based page sharing (Section V): scan + protect.
 HOST_SHARE = "host_share"
+# Balloon/reclaim under host memory pressure (repro.host): the VMM
+# revokes backed frames — host-PT unmaps plus shadow invalidations —
+# charged to the victim VM, but not a guest-visible trap.
+BALLOON_REVOKE = "balloon_revoke"
 
 
 class TrapStats:

@@ -91,6 +91,10 @@ class VMM(GuestPlatform):
         # Observability: null object until System.attach_observability
         # installs a tracer (see attach_tracer).
         self.tracer = NULL_TRACER
+        # Balloon clock hand: the last gfn revoked, so successive reclaim
+        # episodes sweep the backed set round-robin instead of thrashing
+        # the same pages (deterministic: a pure function of revocations).
+        self._balloon_hand = -1
 
     def attach_tracer(self, tracer):
         """Thread ``tracer`` into trap accounting and per-process policies."""
@@ -460,6 +464,87 @@ class VMM(GuestPlatform):
         self.traps.record(T.HOST_SHARE, cycles)
         self.clock.advance(cycles)
         return protected
+
+    # -- consolidated-host entry points (repro.host) ------------------------------
+
+    def vm_preempt(self):
+        """The host descheduled this VM's vCPU.
+
+        VMCS state save is the *host's* cost (charged as part of the
+        world switch by :class:`repro.host.scheduler.VCpuScheduler`), so
+        nothing is recorded against this VM — a preempted guest must
+        replay identically to an uninterrupted one.
+        """
+
+    def vm_resume(self, flush_tlb=False):
+        """This VM's vCPU is back on a core.
+
+        ``flush_tlb`` models hardware without VPID-style address-space
+        tags: the incoming world's TLB entries cannot coexist with the
+        outgoing one's, so every cached translation is dropped. With
+        tags (the default) resume is free, as on modern hardware.
+        """
+        if flush_tlb:
+            self.mmu.flush_all()
+
+    @trap_handler
+    def balloon_revoke(self, count, cycles_per_page=300):
+        """Revoke up to ``count`` backed host frames (balloon inflate).
+
+        The host is under memory pressure and this VM is the victim: the
+        balloon driver "allocates" guest pages whose backing frames the
+        VMM hands back. For each revoked mapping the host PT entry is
+        unmapped, shadow leaves embedding the freed host frame are
+        zapped, and cached translations are invalidated — the next guest
+        touch takes a host fault and gets re-backed (agile switching-bit
+        churn and shadow refills included). Clean pages are preferred,
+        swept round-robin from the balloon hand.
+
+        Returns the number of host frames freed to this VM's allocator
+        (the host ledger is credited by the metered memory itself).
+        """
+        mapped = sorted(self.hostpt.iter_mapped_gfns())
+        if not mapped:
+            return 0
+        # Rotate the sweep to start just past the last revoked gfn.
+        start = 0
+        while start < len(mapped) and mapped[start] <= self._balloon_hand:
+            start += 1
+        order = mapped[start:] + mapped[:start]
+        victims = [g for g in order if not self.hostpt.is_dirty(g)]
+        victims += [g for g in order if self.hostpt.is_dirty(g)]
+        span = self.hostpt._frames_per_page
+        freed = 0
+        revoked_hfns = set()
+        for gfn in victims:
+            if freed >= count:
+                break
+            pte = self.hostpt.unmap(gfn)
+            if pte is None:
+                continue
+            for offset in range(span):
+                self.host_mem.free_frame(pte.frame + offset)
+                revoked_hfns.add(pte.frame + offset)
+            freed += span
+            self._balloon_hand = gfn
+            self.mmu.invalidate_nested_gfn(gfn)
+        if not revoked_hfns:
+            return 0
+        # Shadow tables embed host frames: drop leaves pointing at the
+        # frames we just gave back (same protocol as host_share_pages).
+        for state in self.states.values():
+            if state.manager is None:
+                continue
+            spt = state.manager.spt
+            for va, spte, _level in list(spt.iter_leaves()):
+                if spte.frame in revoked_hfns:
+                    state.manager._zap_position(_level, va)
+                    self.mmu.invalidate_page(state.manager.asid, va)
+        # Host mappings vanished: every combined translation is suspect.
+        self.mmu.flush_all()
+        cycles = cycles_per_page * (freed // span or 1)
+        self._trap(T.BALLOON_REVOKE, cycles)
+        return freed
 
     # -- introspection ------------------------------------------------------------------------------
 

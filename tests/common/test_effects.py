@@ -25,7 +25,8 @@ class TestMutates:
         def switch():
             pass
 
-        assert set(switch.__repro_mutates__) == set(RESOURCES)
+        assert set(switch.__repro_mutates__) == {"shadow_pt", "switching_bits"}
+        assert set(switch.__repro_mutates__) <= set(RESOURCES)
 
     def test_unknown_resource_is_rejected(self):
         with pytest.raises(ValueError):

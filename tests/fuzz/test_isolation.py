@@ -1,0 +1,64 @@
+"""The cross-VM isolation oracle: solo ≡ consolidated, bit for bit.
+
+The generic corpus tests already replay the committed
+``cross-vm-isolation-virtual-clock`` case; these tests exercise the
+oracle directly — it must pass on fresh scenarios in every virtualized
+mode, serialize faithfully for corpus files, and actually *fail* when
+the per-VM virtual clocks are knocked out (the bug class it exists to
+catch).
+"""
+
+import pytest
+
+import repro.host.host as host_module
+from repro.fuzz.isolation import IsolationOracle
+from repro.fuzz.scenario import ScenarioGenerator
+
+VM_FRAMES = 4096
+
+
+def make_scenario(profile="ctx", seed=5, ops=60):
+    return ScenarioGenerator(profile=profile).generate(seed, ops)
+
+
+class TestIsolationOracle:
+    @pytest.mark.parametrize("mode", ["nested", "shadow", "agile", "shsp"])
+    def test_consolidated_guests_match_solo(self, mode):
+        oracle = IsolationOracle(mode=mode, vms=2, vm_frames=VM_FRAMES)
+        verdict = oracle.run(make_scenario())
+        assert verdict.ok, verdict
+
+    def test_holds_across_profiles_with_three_vms(self):
+        oracle = IsolationOracle(mode="agile", vms=3, vm_frames=VM_FRAMES)
+        for profile in ("default", "churn", "fork_cow"):
+            verdict = oracle.run(make_scenario(profile, seed=9, ops=48))
+            assert verdict.ok, (profile, verdict)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError, match="at least one VM"):
+            IsolationOracle(vms=0)
+        with pytest.raises(ValueError, match="unknown mode"):
+            IsolationOracle(mode="hypervisor").run(make_scenario())
+
+    def test_options_roundtrip(self):
+        oracle = IsolationOracle(mode="shadow", vms=4, step_ops=8,
+                                 vm_frames=VM_FRAMES, vpid=True,
+                                 hw_cr3_cache=False)
+        options = oracle.options()
+        assert options["kind"] == "isolation"
+        assert options["hw_cr3_cache"] is False
+        clone = IsolationOracle.from_options(options)
+        assert clone.options() == options
+
+    def test_detects_shared_clock_regression(self, monkeypatch):
+        """Re-create the pre-VirtualClock bug: every VM reading host
+        wall time directly. A neighbor's quanta then age this VM's
+        clock-windowed agile policy, its switching decisions shift, and
+        the composed gVA→hPA map diverges from solo — the oracle must
+        say so."""
+        monkeypatch.setattr(host_module, "VirtualClock",
+                            lambda host: host)
+        oracle = IsolationOracle(mode="agile", vms=2, vm_frames=VM_FRAMES)
+        verdict = oracle.run(make_scenario())
+        assert not verdict.ok
+        assert verdict.check.startswith("isolation-")
