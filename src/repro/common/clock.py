@@ -1,4 +1,13 @@
-"""The virtual cycle clock shared by every simulated component."""
+"""The virtual cycle clock shared by every simulated component.
+
+This module is the one place host wall time and a VM's virtual time
+legitimately meet: :meth:`VirtualClock.advance` bills its host clock as
+a side effect of billing itself. ``repro.lint.time`` exempts the module
+from the REPRO702 authority rule for exactly that pass-through;
+everywhere else, VM-side code advancing ``clock.host`` is a finding.
+"""
+
+from repro.common.timedomain import cycles
 
 
 class Clock:
@@ -15,6 +24,7 @@ class Clock:
     def __init__(self):
         self.now = 0
 
+    @cycles(cycles="duration")
     def advance(self, cycles):
         if cycles < 0:
             raise ValueError("time cannot move backwards")
@@ -44,6 +54,7 @@ class VirtualClock:
         self.host = host
         self.now = 0
 
+    @cycles(cycles="duration")
     def advance(self, cycles):
         if cycles < 0:
             raise ValueError("time cannot move backwards")

@@ -15,9 +15,33 @@ fractions (Section VI). This module is a formula-for-formula port:
 The model is usable standalone (fed by the two-step methodology in
 :mod:`repro.analysis.twostep`) and is cross-checked against the direct
 simulation in the test suite.
+
+Units: this is the one layer where cycles are *floats* — averages,
+scaled projections, and overhead ratios, not integer clock ticks. Every
+cycle-valued input and output is still a ``duration`` in the
+``repro.common.timedomain`` sense (an interval, never an epoch on some
+clock), and the annotations below declare exactly that; the simulator's
+integer clocks stay on the other side of
+:func:`measured_run_from_metrics`. Overhead ratios (``PW``, ``VMM``)
+are dimensionless and carry no annotation.
 """
 
 from dataclasses import dataclass, field
+
+from repro.common.timedomain import cycles
+
+
+def _ratio(numerator, denominator):
+    """``numerator / denominator`` with the model's uniform zero guard.
+
+    Every division in the model means "per unit of a measured count or
+    time"; a zero (or unmeasured) denominator means the quantity is
+    undefined and the paper's tables would show a dash — rendered here
+    as 0.0 so downstream arithmetic stays total.
+    """
+    if not denominator:
+        return 0.0
+    return numerator / denominator
 
 
 @dataclass(frozen=True)
@@ -26,6 +50,7 @@ class MeasuredRun:
 
     Fields mirror Section VI: E (total cycles), M (TLB misses), T
     (cycles spent on TLB misses), H (cycles spent in the hypervisor).
+    All cycle fields are durations (elapsed intervals, no epoch).
     """
 
     total_cycles: float
@@ -34,30 +59,29 @@ class MeasuredRun:
     hypervisor_cycles: float = 0.0
 
     @property
+    @cycles("duration")
     def avg_cycles_per_miss(self):
         """Table IV: C = T / M."""
-        if not self.tlb_misses:
-            return 0.0
-        return self.tlb_miss_cycles / self.tlb_misses
+        return _ratio(self.tlb_miss_cycles, self.tlb_misses)
 
 
+@cycles("duration")
 def ideal_cycles(best_run):
     """Table IV: E_ideal = E_2M - T_2M (from the best native run)."""
     return best_run.total_cycles - best_run.tlb_miss_cycles
 
 
+@cycles(e_ideal="duration")
 def page_walk_overhead(run, e_ideal):
     """Table IV: PW = (E - E_ideal - H) / E_ideal."""
-    if not e_ideal:
-        return 0.0
-    return (run.total_cycles - e_ideal - run.hypervisor_cycles) / e_ideal
+    return _ratio(run.total_cycles - e_ideal - run.hypervisor_cycles,
+                  e_ideal)
 
 
+@cycles(e_ideal="duration")
 def vmm_overhead(run, e_ideal):
     """Table IV: VMM = H / E_ideal."""
-    if not e_ideal:
-        return 0.0
-    return run.hypervisor_cycles / e_ideal
+    return _ratio(run.hypervisor_cycles, e_ideal)
 
 
 @dataclass
@@ -78,6 +102,7 @@ class AgileFractions:
         return max(0.0, 1.0 - sum(self.fn.values()))
 
 
+@cycles(e_ideal="duration")
 def agile_walk_overhead(fractions, shadow_run, nested_run, base_misses, e_ideal):
     """Table IV: PW_A, the projected agile page-walk overhead.
 
@@ -87,7 +112,7 @@ def agile_walk_overhead(fractions, shadow_run, nested_run, base_misses, e_ideal)
     else pays shadow cost. ``base_misses`` is M_B: the paper scales by
     the base-native miss count.
     """
-    if not e_ideal or not base_misses:
+    if not base_misses:
         return 0.0
     c_nested = nested_run.avg_cycles_per_miss
     c_shadow = shadow_run.avg_cycles_per_miss
@@ -99,23 +124,22 @@ def agile_walk_overhead(fractions, shadow_run, nested_run, base_misses, e_ideal)
         + c_shadow * shadow_frac
         + 0.5 * (c_nested + c_shadow) * fn1
     )
-    return cycles_per_miss * base_misses / e_ideal
+    return _ratio(cycles_per_miss * base_misses, e_ideal)
 
 
+@cycles(e_ideal="duration")
 def agile_vmm_overhead(fractions, shadow_run, trap_cycles_by_reason, e_ideal):
     """Table IV: VMM_A = OS - sum_i(FV_i * CE_i).
 
     ``trap_cycles_by_reason`` maps each VMtrap reason to the cycles
     shadow paging spent on it; agile eliminates fraction FV_i of each.
     """
-    if not e_ideal:
-        return 0.0
     eliminated = sum(
         fractions.fv.get(reason, 0.0) * cycles
         for reason, cycles in trap_cycles_by_reason.items()
     )
     remaining = shadow_run.hypervisor_cycles - eliminated
-    return max(0.0, remaining) / e_ideal
+    return _ratio(max(0.0, remaining), e_ideal)
 
 
 def measured_run_from_metrics(metrics):

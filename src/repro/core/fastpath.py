@@ -22,6 +22,7 @@ runs only when tracing is off, and pays nothing for it.
 from repro.common.addrspace import returns, takes
 from repro.common.errors import SimulationError
 from repro.common.params import level_shift
+from repro.common.timedomain import advances, charges
 from repro.core.machine import POLICY_EPOCH_OPS, System
 from repro.hw.fasttlb import KEY_ASID_BITS, VAL_FRAME_BITS
 from repro.mem.flatpt import FlatLeafMap, pack_meta
@@ -35,6 +36,8 @@ UNBACKED_FRAME = -1
 class FastSystem(System):
     """A ``System`` running on the fastpath core."""
 
+    @advances("guest_sim")
+    @charges("ideal_cycles", "tlb_l2_cycles", "sink:tlb_l1_hit")
     def access_batch(self, vas, is_write=False, kind="data", collect_frames=False):
         """Retire every access in ``vas`` (all reads or all writes).
 

@@ -15,6 +15,7 @@ from repro.common.errors import (
     ShadowProtectionFault,
     SimulationError,
 )
+from repro.common.timedomain import advances, charges
 from repro.core.metrics import RunMetrics
 from repro.guest.kernel import GuestKernel, GuestPlatform
 from repro.hw.mmu import MMU
@@ -175,6 +176,8 @@ class System(GuestPlatform):
             return self.vmm.ctx_for(proc)
         return self._native_ctxs[proc.pid]
 
+    @advances("guest_sim")
+    @charges("ideal_cycles")
     def access(self, va, is_write=False, kind="data"):
         """One memory access by the current process.
 
@@ -230,11 +233,15 @@ class System(GuestPlatform):
     def write(self, va):
         return self.access(va, is_write=True)
 
+    @advances("guest_sim")
+    @charges("walk_cycles")
     def _charge_refs(self, refs):
         cycles = refs * self.cost.cycles_per_walk_ref
         self.walk_cycles += cycles
         self.clock.advance(cycles)
 
+    @advances("guest_sim")
+    @charges("walk_cycles", "tlb_l2_cycles", "sink:tlb_l1_hit")
     def _charge_translation(self, outcome):
         if outcome.hit_level == "l1":
             if self.cost.cycles_tlb_l1_hit:
@@ -252,6 +259,8 @@ class System(GuestPlatform):
             else:
                 self._charge_refs(outcome.walk.refs)
 
+    @advances("guest_sim")
+    @charges("guest_fault_cycles")
     def _handle_guest_fault(self, proc, va, is_write):
         self.guest_fault_count += 1
         self.guest_fault_cycles += self.cost.guest_fault_cycles
@@ -301,6 +310,8 @@ class System(GuestPlatform):
             metrics.set_gauge("nested_tlb.occupancy",
                               self.mmu.nested_tlb.occupancy())
 
+    @advances("guest_sim")
+    @charges("sink:warmup")
     def settle_policies(self, intervals=2):
         """Let VMM policy epochs elapse with the guest idle.
 

@@ -61,7 +61,13 @@ class BalloonDriver:
         return None
 
     def reclaim(self, requester_vm_id, need):
-        """Free at least ``need`` frames; returns frames actually freed."""
+        """Free at least ``need`` frames; returns frames actually freed.
+
+        The driver advances no clock of its own: revocation cycles are
+        charged on each *victim's* virtual clock by its VMM's trap
+        accounting, and the driver is not a host-clock authority
+        (REPRO702) — it only reads timestamps for trace events.
+        """
         freed_total = 0
         exhausted = set()
         while freed_total < need:

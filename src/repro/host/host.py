@@ -12,6 +12,13 @@ constructed exactly as a solo machine with ``host_mem_frames`` equal to
 its reservation would be — same allocator geometry, same VM-local frame
 numbers — so consolidation changes *when* a guest runs and what its
 traps cost, never what its translations resolve to.
+
+Time authority: the ``Host`` owns the one wall-time :class:`Clock` and
+hands each VM a :class:`VirtualClock` view of it. ``repro.lint.time``
+(REPRO702) pins that arrangement — only ``Host`` and
+``VCpuScheduler`` may advance the host clock directly; everything
+VM-side bills its own view and reaches host wall time solely through
+the pass-through inside ``repro.common.clock``.
 """
 
 from dataclasses import replace

@@ -33,7 +33,13 @@ WALK_FAULTS = (
 
 
 class BatchWalker(PageWalker):
-    """The reference walk engine behind a dispatch table."""
+    """The reference walk engine behind a dispatch table.
+
+    Like :class:`~repro.hw.walker.PageWalker`, this advances no clock:
+    batched walks return reference counts (or fault instances) and the
+    fastpath core charges cycles at its batch boundaries under its own
+    ``@charges`` declarations (REPRO703).
+    """
 
     DISPATCH = {
         "native": PageWalker.native_walk,

@@ -62,6 +62,14 @@ class PageWalker:
     are optional acceleration structures. Setting :attr:`journal` to a
     list makes every memory reference append a ``(structure, level)``
     tuple, reproducing the chronological orders of Figures 1 and 3.
+
+    Time accounting: the walker never advances a clock. It *counts*
+    memory references in its :class:`~repro.hw.walkstats.WalkResult`,
+    and ``System._charge_refs``/``_charge_translation`` convert those
+    counts to cycles on the machine's own (guest) clock under their
+    ``@charges`` declarations — so ``repro.lint.time`` (REPRO703) sees
+    one charging surface, not one per walk flavor. The only clock use
+    here is the read-only trace timestamp in :meth:`_probe`.
     """
 
     def __init__(self, host_mem, guest_mem=None, pwc=None, nested_tlb=None,

@@ -20,7 +20,11 @@ shadow-PT and switching-bit mutations (REPRO401/402), determinism
 exhaustiveness (REPRO404/405), the architecture layer map (REPRO501),
 and dead/phantom config keys (REPRO502) — plus ``repro.lint.domains``,
 the address-domain typestate analysis proving gVA/gPA/hPA values never
-mix (REPRO601–605, over the ``repro.common.addrspace`` annotations).
+mix (REPRO601–605, over the ``repro.common.addrspace`` annotations),
+and ``repro.lint.time``, the time-domain analysis proving host wall
+time and guest virtual time never mix and that every charged cycle
+lands in a declared metrics counter (REPRO701–704, over the
+``repro.common.timedomain`` annotations).
 
 Run it as ``python -m repro lint [paths]`` (or via the ``repro`` console
 script); the pytest suite runs it over ``src/`` so tier-1 enforces a
@@ -39,10 +43,11 @@ from repro.lint.engine import (
 from repro.lint.flow.rules import FLOW_RULES
 from repro.lint.rules import DEFAULT_RULES
 from repro.lint.runner import run_lint
+from repro.lint.time.rules import TIME_RULES
 
 #: The ``--deep`` rule set: every per-file rule plus the whole-program
-#: flow and address-domain rules.
-DEEP_RULES = DEFAULT_RULES + FLOW_RULES + DOMAIN_RULES
+#: flow, address-domain, and time-domain rules.
+DEEP_RULES = DEFAULT_RULES + FLOW_RULES + DOMAIN_RULES + TIME_RULES
 
 __all__ = [
     "Finding",
@@ -54,6 +59,7 @@ __all__ = [
     "DEFAULT_RULES",
     "FLOW_RULES",
     "DOMAIN_RULES",
+    "TIME_RULES",
     "DEEP_RULES",
     "run_lint",
 ]

@@ -31,14 +31,15 @@ def default_lint_paths():
 
 
 def default_rules(deep=False):
-    """The configured rule set: per-file, plus the whole-program flow
-    and address-domain rules for deep."""
+    """The configured rule set: per-file, plus the whole-program flow,
+    address-domain, and time-domain rules for deep."""
     from repro.lint.domains.rules import DOMAIN_RULES
     from repro.lint.flow.rules import FLOW_RULES
     from repro.lint.rules import DEFAULT_RULES
+    from repro.lint.time.rules import TIME_RULES
 
     if deep:
-        return DEFAULT_RULES + FLOW_RULES + DOMAIN_RULES
+        return DEFAULT_RULES + FLOW_RULES + DOMAIN_RULES + TIME_RULES
     return DEFAULT_RULES
 
 

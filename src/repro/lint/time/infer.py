@@ -1,0 +1,780 @@
+"""Per-function abstract interpretation over the time lattice.
+
+:func:`analyze_time` runs over the :func:`build_program` call graph
+(parsing nothing — it walks the AST nodes the flow analysis already
+kept per function) and produces a :class:`TimeReport`:
+
+* per-function forward dataflow over the time lattice — locals are
+  seeded from ``@cycles`` parameters and updated through the clock
+  idioms (``self.clock.now`` is an instant on the module's clock side,
+  ``x.system.clock`` is a VM's virtual clock, ``clock.host`` reaches
+  the shared host clock through a ``VirtualClock``, instants subtract
+  to durations, a duration shifts an instant along its own clock),
+* the findings for REPRO701 (cross-clock arithmetic/compares/calls),
+  REPRO702 (host-clock authority) and REPRO703 (cycle conservation:
+  every clock-advance site sits in a function declaring ``@charges``),
+* the REPRO704 metrics-merge closure checks, which pin the
+  ``RunMetrics``/``MetricsSnapshot`` cycle fields against
+  ``timedomain.CYCLE_COUNTERS``, the ``to_dict``/``from_dict`` wire
+  formats, and the snapshot merge algebra.
+
+Branches join conservatively (disagreeing values drop to unknown), so
+only operations on two *known* conflicting values report — annotations
+buy checking, unannotated code stays silent.
+"""
+
+import ast
+
+from repro.lint.flow.analysis import _resolve_call, build_program
+from repro.lint.time.model import (
+    ClockRef,
+    TimeValue,
+    clocks_conflict,
+    duration,
+    from_name,
+    instant,
+    is_exempt,
+    is_host_side,
+    join,
+    kinds_conflict,
+    may_advance_host,
+    module_clock_side,
+    module_tail,
+    read_signature,
+)
+
+#: Rule keys (the REPRO70x suffix each finding belongs to).
+CROSS_CLOCK = "REPRO701"
+CLOCK_AUTHORITY = "REPRO702"
+UNATTRIBUTED = "REPRO703"
+MERGE_CLOSURE = "REPRO704"
+
+#: Attribute tails that name a clock object on their holder.
+_CLOCK_ATTRS = ("clock", "_clock")
+
+#: Arithmetic operators checked for cross-clock mixing (REPRO701).
+_ADDITIVE_OPS = (ast.Add, ast.Sub)
+
+#: Comparison operators checked for cross-clock mixing.
+_ORDERED_CMPS = (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+#: Modules the REPRO704 closure checks read (by last-two components).
+_TIMEDOMAIN_TAIL = ("common", "timedomain")
+_RUNMETRICS_TAIL = ("core", "metrics")
+_SNAPSHOT_TAIL = ("obs", "metrics")
+
+
+def _clip(text, limit=220):
+    return text if len(text) <= limit else text[:limit - 3] + "..."
+
+
+class TimeFinding:
+    """One pre-rendered finding, tagged with its rule key."""
+
+    __slots__ = ("rule_key", "path", "lineno", "col", "message")
+
+    def __init__(self, rule_key, path, lineno, col, message):
+        self.rule_key = rule_key
+        self.path = path
+        self.lineno = lineno
+        self.col = col
+        self.message = _clip(message)
+
+
+class TimeReport:
+    """Everything one time analysis produced."""
+
+    __slots__ = ("findings", "advancers", "chargers")
+
+    def __init__(self, findings, advancers, chargers):
+        self.findings = findings    # [TimeFinding]
+        self.advancers = advancers  # {qualname: (clock, ...)}
+        self.chargers = chargers    # {qualname: (counter, ...)}
+
+    def by_rule(self, rule_key):
+        return [f for f in self.findings if f.rule_key == rule_key]
+
+
+class _AdvanceSite:
+    """One ``<clock>.advance(...)`` call site inside a function."""
+
+    __slots__ = ("node", "ref")
+
+    def __init__(self, node, ref):
+        self.node = node
+        self.ref = ref
+
+
+class _Interpreter:
+    """One forward pass over one function body (nested defs included)."""
+
+    def __init__(self, program, info, signatures):
+        self.program = program
+        self.info = info
+        self.signatures = signatures
+        self.findings = []
+        self.advance_sites = []
+        self.aliases = program.aliases_by_module.get(info.module, {})
+        self.side = module_clock_side(info.module)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def report(self, rule_key, node, message):
+        self.findings.append(TimeFinding(
+            rule_key, self.info.path, node.lineno, node.col_offset,
+            message))
+
+    def run(self):
+        node = self.info.node
+        env = {}
+        signature = self.signatures[self.info.qualname]
+        for name, domain in signature.params.items():
+            env[name] = from_name(domain, "`%s` is a %s parameter of `%s`"
+                                  % (name, domain, self.info.qualname))
+        self.exec_block(node.body, env)
+        return self
+
+    # -- clock-expression recognition --------------------------------------
+
+    def _clock_of(self, node, env):
+        """The ClockRef a receiver expression denotes, or None."""
+        if isinstance(node, ast.Name):
+            value = env.get(node.id)
+            return value if isinstance(value, ClockRef) else None
+        if not isinstance(node, ast.Attribute):
+            return None
+        attr = node.attr
+        if attr == "host":
+            inner = self._clock_of(node.value, env)
+            if inner is not None:
+                return ClockRef("host_wall",
+                                "`%s` reaches the shared host clock "
+                                "through a VirtualClock view"
+                                % ast.unparse(node), via_host=True)
+            return None
+        if attr in _CLOCK_ATTRS:
+            spelled = ast.unparse(node)
+            if (isinstance(node.value, ast.Attribute)
+                    and node.value.attr == "system"):
+                # X.system.clock: one VM's machine, i.e. its virtual view.
+                return ClockRef("guest",
+                                "`%s` is a VM's virtual clock" % spelled)
+            side = self.side
+            what = ("the shared host clock" if side == "host_wall"
+                    else "this machine's own clock")
+            return ClockRef(side, "`%s` is %s (%s is %s-side)"
+                            % (spelled, what, self.info.module,
+                               "host" if side == "host_wall" else "guest"))
+        return None
+
+    # -- statements --------------------------------------------------------
+
+    def exec_block(self, statements, env):
+        for statement in statements:
+            self.exec_stmt(statement, env)
+
+    def _assign(self, target, value, env):
+        if isinstance(target, ast.Name):
+            if value is None or isinstance(value, (tuple, list)):
+                env.pop(target.id, None)
+            else:
+                env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements = list(value) if isinstance(value, (tuple, list)) else []
+            for index, element in enumerate(target.elts):
+                self._assign(element, elements[index]
+                             if index < len(elements) else None, env)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self.eval(target.value, env)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, None, env)
+
+    def exec_stmt(self, statement, env):
+        if isinstance(statement, ast.Assign):
+            value = self.eval(statement.value, env)
+            for target in statement.targets:
+                self._assign(target, value, env)
+        elif isinstance(statement, ast.AnnAssign):
+            value = (self.eval(statement.value, env)
+                     if statement.value is not None else None)
+            self._assign(statement.target, value, env)
+        elif isinstance(statement, ast.AugAssign):
+            synthetic = ast.BinOp(left=statement.target,
+                                  op=statement.op, right=statement.value)
+            ast.copy_location(synthetic, statement)
+            ast.fix_missing_locations(synthetic)
+            value = self._eval_BinOp(synthetic, env)
+            self._assign(statement.target, value, env)
+        elif isinstance(statement, ast.Return):
+            self._exec_return(statement, env)
+        elif isinstance(statement, ast.Expr):
+            self.eval(statement.value, env)
+        elif isinstance(statement, ast.If):
+            self.eval(statement.test, env)
+            after_body = dict(env)
+            self.exec_block(statement.body, after_body)
+            after_orelse = dict(env)
+            self.exec_block(statement.orelse, after_orelse)
+            self._merge_into(env, after_body, after_orelse)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            self.eval(statement.iter, env)
+            body_env = dict(env)
+            self._assign(statement.target, None, body_env)
+            self.exec_block(statement.body, body_env)
+            self.exec_block(statement.orelse, body_env)
+            self._assign(statement.target, None, env)
+            self._merge_into(env, env, body_env)
+        elif isinstance(statement, ast.While):
+            self.eval(statement.test, env)
+            body_env = dict(env)
+            self.exec_block(statement.body, body_env)
+            self.exec_block(statement.orelse, body_env)
+            self._merge_into(env, env, body_env)
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                value = self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, value, env)
+            self.exec_block(statement.body, env)
+        elif isinstance(statement, ast.Try):
+            after_body = dict(env)
+            self.exec_block(statement.body, after_body)
+            merged = after_body
+            for handler in statement.handlers:
+                after_handler = dict(env)
+                self.exec_block(handler.body, after_handler)
+                merged = self._merged(merged, after_handler)
+            self._merge_into(env, env, merged)
+            self.exec_block(statement.orelse, env)
+            self.exec_block(statement.finalbody, env)
+        elif isinstance(statement, ast.Delete):
+            for target in statement.targets:
+                self._assign(target, None, env)
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested helper (the fastpath's `_flush` closure): interpret
+            # its body in a copy of the enclosing env, so closed-over
+            # clock references keep their inferred side and its advance
+            # sites are attributed to *this* top-level function.
+            inner = dict(env)
+            for arg in statement.args.args:
+                inner.pop(arg.arg, None)
+            self.exec_block(statement.body, inner)
+        elif isinstance(statement, (ast.ClassDef, ast.Import,
+                                    ast.ImportFrom, ast.Global,
+                                    ast.Nonlocal, ast.Pass, ast.Break,
+                                    ast.Continue)):
+            pass
+        else:
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.expr):
+                    self.eval(child, env)
+
+    def _merged(self, env_a, env_b):
+        merged = {}
+        for name, value in env_a.items():
+            kept = join(value, env_b.get(name))
+            if kept is not None:
+                merged[name] = kept
+        return merged
+
+    def _merge_into(self, env, env_a, env_b):
+        merged = self._merged(env_a, env_b)
+        env.clear()
+        env.update(merged)
+
+    def _exec_return(self, statement, env):
+        if statement.value is None:
+            return
+        value = self._scalar(self.eval(statement.value, env))
+        declared_name = self.signatures[self.info.qualname].returns
+        if declared_name is None or value is None:
+            return
+        want = from_name(declared_name, "declared")
+        if want is None:
+            return
+        if clocks_conflict(want, value):
+            self.report(CROSS_CLOCK, statement,
+                        "`%s` returns a %s value where %s is declared — %s"
+                        % (self.info.qualname, value.domain, declared_name,
+                           value.origin))
+        elif kinds_conflict(want, value):
+            self.report(CROSS_CLOCK, statement,
+                        "`%s` returns an %s where a %s is declared "
+                        "(epoch/interval confusion) — %s"
+                        % (self.info.qualname, value.kind, declared_name,
+                           value.origin))
+
+    # -- expressions -------------------------------------------------------
+
+    def eval(self, node, env):
+        method = getattr(self, "_eval_" + type(node).__name__, None)
+        if method is not None:
+            return method(node, env)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child, env)
+        return None
+
+    def _eval_Name(self, node, env):
+        return env.get(node.id)
+
+    def _eval_Constant(self, node, env):
+        return None
+
+    def _eval_Tuple(self, node, env):
+        return tuple(self.eval(element, env) for element in node.elts)
+
+    def _eval_NamedExpr(self, node, env):
+        value = self.eval(node.value, env)
+        self._assign(node.target, value, env)
+        return value
+
+    def _eval_IfExp(self, node, env):
+        self.eval(node.test, env)
+        return join(self._known(self.eval(node.body, env)),
+                    self._known(self.eval(node.orelse, env)))
+
+    def _eval_BoolOp(self, node, env):
+        merged = self._known(self.eval(node.values[0], env))
+        for value in node.values[1:]:
+            merged = join(merged, self._known(self.eval(value, env)))
+        return merged
+
+    def _eval_UnaryOp(self, node, env):
+        value = self.eval(node.operand, env)
+        if isinstance(node.op, (ast.USub, ast.UAdd)):
+            return self._scalar(value)
+        return None
+
+    def _eval_Attribute(self, node, env):
+        ref = self._clock_of(node, env)
+        if ref is not None:
+            return ref
+        if node.attr == "now":
+            holder = self._clock_of(node.value, env)
+            if holder is not None:
+                return instant(holder.clock, "`%s` reads %s"
+                               % (ast.unparse(node),
+                                  "host wall time"
+                                  if holder.clock == "host_wall"
+                                  else "this machine's virtual time"))
+        self.eval(node.value, env)
+        return None
+
+    @staticmethod
+    def _scalar(value):
+        return value if isinstance(value, TimeValue) else None
+
+    @staticmethod
+    def _known(value):
+        return value if isinstance(value, (TimeValue, ClockRef)) else None
+
+    def _eval_Compare(self, node, env):
+        values = [self._scalar(self.eval(node.left, env))]
+        for comparator in node.comparators:
+            values.append(self._scalar(self.eval(comparator, env)))
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, _ORDERED_CMPS):
+                continue
+            left, right = values[index], values[index + 1]
+            if clocks_conflict(left, right):
+                self.report(CROSS_CLOCK, node,
+                            "cross-clock comparison: %s (%s) vs %s (%s)"
+                            % (left.domain, left.origin,
+                               right.domain, right.origin))
+            elif kinds_conflict(left, right):
+                self.report(CROSS_CLOCK, node,
+                            "comparing an %s with a %s (epoch/interval "
+                            "confusion): %s vs %s"
+                            % (left.kind, right.kind,
+                               left.origin, right.origin))
+        return None
+
+    def _eval_BinOp(self, node, env):
+        left = self._scalar(self.eval(node.left, env))
+        right = self._scalar(self.eval(node.right, env))
+        if not isinstance(node.op, _ADDITIVE_OPS):
+            return None
+        if left is None or right is None:
+            return None
+        if left.kind == "instant" and right.kind == "instant":
+            if clocks_conflict(left, right):
+                self.report(CROSS_CLOCK, node,
+                            "cross-clock arithmetic: %s (%s) %s %s (%s)"
+                            % (left.domain, left.origin,
+                               type(node.op).__name__.lower(),
+                               right.domain, right.origin))
+                return None
+            if isinstance(node.op, ast.Sub):
+                return duration("%s minus %s" % (left.origin, right.origin))
+            return None  # adding two epochs is meaningless; stay quiet
+        if left.kind == "instant" and right.kind == "duration":
+            return TimeValue("instant", left.clock, left.origin)
+        if left.kind == "duration" and right.kind == "instant":
+            if isinstance(node.op, ast.Add):
+                return TimeValue("instant", right.clock, right.origin)
+            return None
+        return duration(left.origin)
+
+    # -- calls -------------------------------------------------------------
+
+    def _eval_Call(self, node, env):
+        argument_values = [self.eval(arg, env) for arg in node.args]
+        keyword_values = {kw.arg: self.eval(kw.value, env)
+                          for kw in node.keywords if kw.arg is not None}
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                self.eval(keyword.value, env)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "advance":
+                ref = self._clock_of(func.value, env)
+                if ref is not None:
+                    self.advance_sites.append(_AdvanceSite(node, ref))
+                    for value in argument_values:
+                        value = self._scalar(value)
+                        if value is not None and value.kind == "instant":
+                            self.report(
+                                CROSS_CLOCK, node,
+                                "advancing a clock by an *instant* (%s) — "
+                                "advance() takes a duration; subtract two "
+                                "instants on the same clock first"
+                                % value.origin)
+            self.eval(func.value, env)
+        resolved = _resolve_call(node, self.info, self.aliases, self.program)
+        if resolved is None:
+            return None
+        candidates, ambiguous = resolved
+        self._check_arguments(node, candidates, argument_values,
+                              keyword_values)
+        if ambiguous or len(candidates) != 1:
+            return None
+        signature = self.signatures.get(candidates[0])
+        if signature is None or signature.returns is None:
+            return None
+        return from_name(signature.returns,
+                         "`%s(...)` returns declared %s"
+                         % (candidates[0], signature.returns))
+
+    def _bound_arguments(self, node, callee, argument_values, keyword_values):
+        """[(param name, value node, value)] for checkable arguments."""
+        if any(isinstance(arg, ast.Starred) for arg in node.args):
+            return []
+        parameters = [arg.arg for arg in callee.node.args.args]
+        if (callee.cls is not None and parameters
+                and parameters[0] in ("self", "cls")):
+            parameters = parameters[1:]
+        bound = []
+        for index, value in enumerate(argument_values):
+            if index < len(parameters):
+                bound.append((parameters[index], node.args[index], value))
+        for keyword in node.keywords:
+            if keyword.arg in keyword_values:
+                bound.append((keyword.arg, keyword.value,
+                              keyword_values[keyword.arg]))
+        return bound
+
+    def _check_arguments(self, node, candidates, argument_values,
+                         keyword_values):
+        """Cross-clock argument check, tolerant of name-matched calls.
+
+        A value node is checked when at least one candidate declares a
+        time domain for the parameter it binds there and every declaring
+        candidate agrees on the domain — so `state.policy.note_write`
+        (name-matched against both policy classes, which agree on
+        ``now="guest_sim"``) is still checked, while a coincidental
+        method-name collision with disagreeing declarations stays quiet.
+        """
+        declared_per_node = {}
+        for qualname in candidates:
+            callee = self.program.functions.get(qualname)
+            signature = self.signatures.get(qualname)
+            if (callee is None or callee.node is None or signature is None
+                    or not signature.params):
+                continue
+            for parameter, value_node, value in self._bound_arguments(
+                    node, callee, argument_values, keyword_values):
+                declared_name = signature.params.get(parameter)
+                if declared_name is None:
+                    continue
+                entry = declared_per_node.setdefault(
+                    value_node, (value, parameter, qualname, set()))
+                entry[3].add(declared_name)
+        for value_node, (value, parameter, qualname,
+                         names) in declared_per_node.items():
+            if len(names) != 1:
+                continue  # declaring candidates disagree: stay quiet
+            declared_name = names.pop()
+            value = self._scalar(value)
+            if value is None:
+                continue
+            declared = from_name(declared_name, "declared")
+            if declared is None:
+                continue
+            if clocks_conflict(declared, value):
+                self.report(CROSS_CLOCK, value_node,
+                            "argument `%s` of `%s` expects %s time, got "
+                            "%s — %s"
+                            % (parameter, qualname, declared_name,
+                               value.domain, value.origin))
+            elif kinds_conflict(declared, value):
+                self.report(CROSS_CLOCK, value_node,
+                            "argument `%s` of `%s` expects a %s, got an "
+                            "%s (epoch/interval confusion) — %s"
+                            % (parameter, qualname, declared_name,
+                               value.kind, value.origin))
+
+
+def _site_findings(info, signature, interp):
+    """REPRO702/REPRO703 for one function's collected advance sites."""
+    findings = []
+    if is_exempt(info.module):
+        return findings
+    for site in interp.advance_sites:
+        node, ref = site.node, site.ref
+        if ref.via_host:
+            findings.append(TimeFinding(
+                CLOCK_AUTHORITY, info.path, node.lineno, node.col_offset,
+                _clip("`%s` advances the host clock through a "
+                      "VirtualClock's `.host` — VM-side code must charge "
+                      "its own virtual view and let the pass-through in "
+                      "repro.common.clock bill host wall time (%s)"
+                      % (info.qualname, ref.origin))))
+        elif (ref.clock == "host_wall"
+              and not may_advance_host(info.module, info.cls)):
+            findings.append(TimeFinding(
+                CLOCK_AUTHORITY, info.path, node.lineno, node.col_offset,
+                _clip("`%s` advances the shared host clock, but only "
+                      "VCpuScheduler and Host hold that authority — %s"
+                      % (info.qualname, ref.origin))))
+        side = "host_wall" if ref.clock == "host_wall" else "guest_sim"
+        if not ref.via_host and side not in signature.advances:
+            findings.append(TimeFinding(
+                CLOCK_AUTHORITY, info.path, node.lineno, node.col_offset,
+                _clip("`%s` advances a %s clock without declaring "
+                      "@advances(%r) — %s"
+                      % (info.qualname, side, side, ref.origin))))
+        if not signature.charges:
+            findings.append(TimeFinding(
+                UNATTRIBUTED, info.path, node.lineno, node.col_offset,
+                _clip("unattributed clock advance in `%s`: declare "
+                      "@charges(<RunMetrics counter>) or an explicit "
+                      "@charges(\"sink:...\") so total_cycles stays the "
+                      "sum of its parts (%s)"
+                      % (info.qualname, ref.origin))))
+    for clock in signature.advances:
+        if (clock == "host_wall"
+                and not may_advance_host(info.module, info.cls)):
+            findings.append(TimeFinding(
+                CLOCK_AUTHORITY, info.path, info.lineno, 0,
+                _clip("`%s` declares @advances(\"host_wall\") but only "
+                      "VCpuScheduler and Host may advance the shared "
+                      "host clock" % info.qualname)))
+    return findings
+
+
+# -- the REPRO704 metrics-merge closure ---------------------------------------
+
+
+def _module_by_tail(program, tail):
+    for module in program.modules:
+        if module_tail(module) == tail:
+            return module
+    return None
+
+
+def _string_constants(node):
+    return {child.value for child in ast.walk(node)
+            if isinstance(child, ast.Constant)
+            and isinstance(child.value, str)}
+
+
+def _attribute_names(node):
+    return {child.attr for child in ast.walk(node)
+            if isinstance(child, ast.Attribute)}
+
+
+def _class_def(tree, name):
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _method_def(class_node, name):
+    for node in class_node.body:
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name):
+            return node
+    return None
+
+
+def _tuple_assignment(tree, name):
+    """The string elements of a module-level ``NAME = ("a", "b", ...)``."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == name
+                   for t in node.targets):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            return [element.value for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)], node.lineno
+    return None, None
+
+
+def _init_cycle_fields(class_node):
+    """``self.X`` cycle counters assigned in ``__init__``."""
+    init = _method_def(class_node, "__init__")
+    if init is None:
+        return []
+    fields = []
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                name = target.attr
+                if ((name == "total_cycles" or name.endswith("_cycles"))
+                        and name not in fields):
+                    fields.append(name)
+    return fields
+
+
+def _closure_findings(program):
+    """REPRO704: every cycle field is covered by the declared counter
+    vocabulary, both wire formats, and the snapshot merge algebra."""
+    findings = []
+
+    def fail(path, lineno, message):
+        findings.append(TimeFinding(MERGE_CLOSURE, path, lineno, 0,
+                                    _clip(message)))
+
+    timedomain_module = _module_by_tail(program, _TIMEDOMAIN_TAIL)
+    metrics_module = _module_by_tail(program, _RUNMETRICS_TAIL)
+    counters = None
+    if timedomain_module is not None:
+        td_file = program.files_by_module[timedomain_module]
+        counters, counters_line = _tuple_assignment(td_file.tree,
+                                                    "CYCLE_COUNTERS")
+    if metrics_module is not None:
+        metrics_file = program.files_by_module[metrics_module]
+        run_metrics = _class_def(metrics_file.tree, "RunMetrics")
+    else:
+        run_metrics = None
+    if run_metrics is not None:
+        fields = _init_cycle_fields(run_metrics)
+        to_dict = _method_def(run_metrics, "to_dict")
+        from_dict = _method_def(run_metrics, "from_dict")
+        to_dict_keys = (_string_constants(to_dict)
+                        if to_dict is not None else None)
+        from_dict_keys = (_string_constants(from_dict)
+                          if from_dict is not None else None)
+        for field in fields:
+            if to_dict_keys is not None and field not in to_dict_keys:
+                fail(metrics_file.path, to_dict.lineno,
+                     "RunMetrics.%s is a cycle counter but "
+                     "RunMetrics.to_dict never serializes it — the wire "
+                     "format silently drops charged cycles" % field)
+            if from_dict_keys is not None and field not in from_dict_keys:
+                fail(metrics_file.path, from_dict.lineno,
+                     "RunMetrics.%s is a cycle counter but "
+                     "RunMetrics.from_dict never restores it — "
+                     "round-tripping a result zeroes charged cycles"
+                     % field)
+            if counters is not None and field not in counters:
+                fail(metrics_file.path, run_metrics.lineno,
+                     "RunMetrics.%s is a cycle counter but "
+                     "timedomain.CYCLE_COUNTERS does not declare it — "
+                     "@charges cannot attribute cycles to it" % field)
+        if counters is not None:
+            for counter in counters:
+                if counter not in fields:
+                    fail(td_file.path, counters_line,
+                         "timedomain.CYCLE_COUNTERS declares %r but "
+                         "RunMetrics defines no such cycle counter — a "
+                         "phantom @charges target" % counter)
+    snapshot_module = _module_by_tail(program, _SNAPSHOT_TAIL)
+    if snapshot_module is not None:
+        snap_file = program.files_by_module[snapshot_module]
+        snapshot = _class_def(snap_file.tree, "MetricsSnapshot")
+        if snapshot is not None:
+            slots, _line = _tuple_assignment_in_class(snapshot, "__slots__")
+            merge = _method_def(snapshot, "merge")
+            to_dict = _method_def(snapshot, "to_dict")
+            for slot in slots or ():
+                for method, label in ((merge, "merge"),
+                                      (to_dict, "to_dict")):
+                    if method is None:
+                        continue
+                    covered = (_attribute_names(method)
+                               | _string_constants(method))
+                    if slot not in covered:
+                        fail(snap_file.path, method.lineno,
+                             "MetricsSnapshot.%s is never touched by "
+                             "MetricsSnapshot.%s — merged shard "
+                             "snapshots would drop it" % (slot, label))
+    return findings
+
+
+def _tuple_assignment_in_class(class_node, name):
+    for node in class_node.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == name
+                   for t in node.targets):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            return [element.value for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)], node.lineno
+    return None, None
+
+
+# -- the whole-tree analysis --------------------------------------------------
+
+
+#: Rule key each decorator's syntax errors are reported under.
+_SYNTAX_ERROR_RULES = {"cycles": CROSS_CLOCK, "advances": CLOCK_AUTHORITY,
+                       "charges": UNATTRIBUTED}
+
+_cache_key = None
+_cache_value = None
+
+
+def analyze_time(source_files):
+    """The memoized time-domain analysis of one file set."""
+    global _cache_key, _cache_value
+    key = tuple((f.path, f.content_hash) for f in source_files)
+    if key == _cache_key:
+        return _cache_value
+    program = build_program(source_files)
+    signatures = {}
+    findings = []
+    for qualname, info in program.functions.items():
+        signature, errors = read_signature(info.node)
+        signatures[qualname] = signature
+        for node, message in errors:
+            rule_key = _SYNTAX_ERROR_RULES.get(
+                message.split(" in @", 1)[-1].split(" ", 1)[0], CROSS_CLOCK)
+            findings.append(TimeFinding(rule_key, info.path, node.lineno,
+                                        node.col_offset, _clip(message)))
+    advancers = {}
+    chargers = {}
+    for qualname, info in program.functions.items():
+        signature = signatures[qualname]
+        if signature.advances:
+            advancers[qualname] = signature.advances
+        if signature.charges:
+            chargers[qualname] = signature.charges
+        interp = _Interpreter(program, info, signatures).run()
+        findings.extend(interp.findings)
+        findings.extend(_site_findings(info, signature, interp))
+    findings.extend(_closure_findings(program))
+    report = TimeReport(findings, advancers, chargers)
+    _cache_key = key
+    _cache_value = report
+    return report

@@ -1,0 +1,83 @@
+"""The REPRO701–REPRO704 time-domain rules.
+
+All four query the one memoized :func:`analyze_time` report (the same
+share-one-analysis idiom as the flow and address-domain rules), so
+running the full set costs one abstract interpretation of the tree.
+"""
+
+from repro.lint.engine import Finding, ProjectRule
+from repro.lint.time.infer import (
+    CLOCK_AUTHORITY,
+    CROSS_CLOCK,
+    MERGE_CLOSURE,
+    UNATTRIBUTED,
+    analyze_time,
+)
+
+
+class _TimeRule(ProjectRule):
+    """Base: render this rule's slice of the shared time report."""
+
+    rule_key = None
+
+    def check_project(self, source_files):
+        report = analyze_time(source_files)
+        for finding in report.by_rule(self.rule_key):
+            yield Finding(self.rule_id, self.name, finding.path,
+                          finding.lineno, finding.col, finding.message)
+
+
+class CrossClockArithmeticRule(_TimeRule):
+    """Host wall time and guest virtual time never meet in arithmetic,
+    comparisons, or annotated call/return positions."""
+
+    rule_id = "REPRO701"
+    name = "cross-clock-arith"
+    description = ("arithmetic/comparison/argument mixes two time bases "
+                   "(host wall vs guest virtual — the PR 9 bug class)")
+    rule_key = CROSS_CLOCK
+
+
+class ClockAuthorityRule(_TimeRule):
+    """Only VCpuScheduler/Host advance the shared host clock; VM-side
+    code goes through its VirtualClock view."""
+
+    rule_id = "REPRO702"
+    name = "clock-authority"
+    description = ("an unauthorized advance of the shared host clock, or "
+                   "an advance site without a matching @advances "
+                   "declaration")
+    rule_key = CLOCK_AUTHORITY
+
+
+class CycleConservationRule(_TimeRule):
+    """Every clock-advance site flows into a declared RunMetrics counter
+    or an explicitly annotated sink."""
+
+    rule_id = "REPRO703"
+    name = "unattributed-cycles"
+    description = ("a clock advance in a function with no @charges "
+                   "declaration — total_cycles would no longer decompose "
+                   "into its attributed components")
+    rule_key = UNATTRIBUTED
+
+
+class MetricsMergeClosureRule(_TimeRule):
+    """RunMetrics/MetricsSnapshot cycle fields close over the counter
+    vocabulary, both wire formats, and the snapshot merge algebra."""
+
+    rule_id = "REPRO704"
+    name = "metrics-merge-closure"
+    description = ("a cycle field missing from CYCLE_COUNTERS, "
+                   "to_dict/from_dict, or the MetricsSnapshot merge — "
+                   "charged cycles would be silently dropped")
+    rule_key = MERGE_CLOSURE
+
+
+#: The time-domain rule set, appended to ``repro check`` / ``--deep``.
+TIME_RULES = (
+    CrossClockArithmeticRule(),
+    ClockAuthorityRule(),
+    CycleConservationRule(),
+    MetricsMergeClosureRule(),
+)

@@ -19,6 +19,7 @@ Three decisions, exactly as the paper frames them:
 """
 
 from repro.common.effects import policy_decision
+from repro.common.timedomain import cycles
 from repro.obs.events import POLICY_PROMOTE, POLICY_TO_NESTED, POLICY_TO_SHADOW
 from repro.vmm.shadowmgr import NODE_NESTED, NODE_SHADOW
 
@@ -34,6 +35,7 @@ class WriteTriggerPolicy:
         self._windows = {}  # node gfn -> (window_start, count)
 
     @policy_decision
+    @cycles(now="guest_sim")
     def note_write(self, manager, node_gfn, now):
         """Record a mediated write; switch the subtree when triggered.
 
@@ -61,6 +63,7 @@ class SimpleReversionPolicy:
         self._last = 0
 
     @policy_decision
+    @cycles(now="guest_sim")
     def tick(self, manager, hostpt, now):
         """Returns the number of nodes reverted this tick."""
         if now - self._last < self.interval:
@@ -83,6 +86,7 @@ class DirtyBitReversionPolicy:
         self._last = 0
 
     @policy_decision
+    @cycles(now="guest_sim")
     def tick(self, manager, hostpt, now):
         if now - self._last < self.interval:
             return 0
@@ -108,6 +112,7 @@ class NoReversionPolicy:
     """Ablation baseline: once nested, always nested."""
 
     @policy_decision
+    @cycles(now="guest_sim")
     def tick(self, manager, hostpt, now):
         return 0
 
@@ -122,6 +127,7 @@ class ShortLivedPolicy:
         self.decided = False
 
     @policy_decision
+    @cycles(now="guest_sim")
     def tick(self, manager, now, miss_rate_per_kop):
         """``miss_rate_per_kop``: recent TLB misses per 1000 operations
         (the paper reads this from hardware performance counters)."""
@@ -176,6 +182,7 @@ class ProcessPolicy:
         self.pid = pid
 
     @policy_decision
+    @cycles(now="guest_sim")
     def note_write(self, manager, node_gfn, now):
         switched = self.write_trigger.note_write(manager, node_gfn, now)
         if switched:
@@ -189,6 +196,7 @@ class ProcessPolicy:
         return switched
 
     @policy_decision
+    @cycles(now="guest_sim")
     def tick(self, manager, hostpt, now, miss_rate_per_kop):
         promoted = self.short_lived.tick(manager, now, miss_rate_per_kop)
         tracer = self.tracer

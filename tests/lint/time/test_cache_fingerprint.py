@@ -1,0 +1,39 @@
+"""Editing the time analyzer invalidates cached lint results.
+
+The :class:`~repro.lint.cache.LintCache` key folds in a recursive code
+fingerprint of the ``repro.lint`` package; the ``time`` subpackage is
+new, so this pins that an edit there (a lattice tweak, a new authority)
+flips the key and forces a cold re-analysis rather than serving
+findings the old analyzer produced.
+"""
+
+import shutil
+
+import repro.lint.cache as cache_module
+from repro.lint.cache import LintCache
+from repro.runner.fingerprint import clear_fingerprint_cache
+
+
+def test_editing_time_package_changes_cache_key(tmp_path, monkeypatch):
+    copy = tmp_path / "lintpkg"
+    shutil.copytree(cache_module._lint_package_root(), copy,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    assert (copy / "time" / "infer.py").is_file()
+
+    monkeypatch.setattr(cache_module, "_lint_package_root",
+                        lambda: str(copy))
+    cache = LintCache(str(tmp_path / "cache"))
+    hashes = [("mod.py", "abc")]
+
+    clear_fingerprint_cache()
+    key_before = cache.key_for(hashes, ["REPRO701"])
+    # Fingerprints memoize per process; same tree, same key.
+    assert cache.key_for(hashes, ["REPRO701"]) == key_before
+
+    infer = copy / "time" / "infer.py"
+    infer.write_text(infer.read_text() + "\n_TWEAKED = True\n")
+    clear_fingerprint_cache()
+    key_after = cache.key_for(hashes, ["REPRO701"])
+    assert key_after != key_before
+
+    clear_fingerprint_cache()  # don't leak the copy's entry to other tests
